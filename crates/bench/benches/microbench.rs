@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the engine's real CPU kernels: coordinate
+//! tables, map search, downsampling pipelines, and GEMM.
+//!
+//! These measure the *actual* Rust implementations (not the GPU cost
+//! model), so they answer a different question than the `fig*`/`table*`
+//! binaries: how fast is this library as a CPU inference engine? They also
+//! demonstrate that the optimized code paths (grid tables, symmetric
+//! search, fused downsampling) are faster on the CPU too — the paper's
+//! algorithmic wins are not GPU-specific.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use torchsparse_core::{Engine, EnginePreset};
+use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
+use torchsparse_coords::kernel_map::{search, search_submanifold_symmetric};
+use torchsparse_coords::{Coord, CoordHashMap, GridTable};
+use torchsparse_data::SyntheticDataset;
+use torchsparse_gpusim::DeviceProfile;
+use torchsparse_models::MinkUNet;
+use torchsparse_tensor::{gemm, Matrix};
+
+fn scene_coords() -> Vec<Coord> {
+    // A coarse (0.4 m) voxelization keeps the scene's coordinate bounding
+    // box small enough that the grid table's dense allocation stays in the
+    // tens of megabytes per build — the regime the paper's "grid" strategy
+    // targets.
+    let mut ds = SyntheticDataset::semantic_kitti(0.05, 4);
+    ds.voxel_size = 0.4;
+    ds.scene(7).expect("scene generation").coords().to_vec()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let coords = scene_coords();
+    let mut g = c.benchmark_group("coord_tables");
+    g.sample_size(20);
+    g.bench_function("hashmap_build", |b| {
+        b.iter(|| CoordHashMap::build(black_box(&coords)))
+    });
+    g.bench_function("grid_build", |b| {
+        b.iter(|| GridTable::build(black_box(&coords), u64::MAX).expect("grid fits"))
+    });
+    let (hash, _) = CoordHashMap::build(&coords);
+    let (grid, _) = GridTable::build(&coords, u64::MAX).expect("grid fits");
+    g.bench_function("hashmap_search_k3", |b| {
+        b.iter(|| search(black_box(&coords), &hash, 3, 1).expect("search"))
+    });
+    g.bench_function("grid_search_k3", |b| {
+        b.iter(|| search(black_box(&coords), &grid, 3, 1).expect("search"))
+    });
+    g.bench_function("symmetric_search_k3", |b| {
+        b.iter(|| search_submanifold_symmetric(black_box(&coords), &grid, 3).expect("search"))
+    });
+    g.finish();
+}
+
+fn bench_downsample(c: &mut Criterion) {
+    let coords = scene_coords();
+    let mut g = c.benchmark_group("downsample");
+    g.sample_size(20);
+    g.bench_function("staged_k2s2", |b| {
+        b.iter(|| staged_output_coords(black_box(&coords), 2, 2, Boundary::unbounded()))
+    });
+    g.bench_function("fused_k2s2", |b| {
+        b.iter(|| fused_output_coords(black_box(&coords), 2, 2, Boundary::unbounded()))
+    });
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Matrix::from_fn(2048, 64, |r, cc| ((r * 31 + cc * 17) % 97) as f32 / 97.0);
+    let w = Matrix::from_fn(64, 64, |r, cc| ((r * 13 + cc * 7) % 89) as f32 / 89.0);
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(30);
+    g.bench_function("mm_2048x64x64", |b| {
+        b.iter(|| gemm::mm(black_box(&a), black_box(&w)).expect("mm"))
+    });
+    let batch_a: Vec<Matrix> = (0..8).map(|_| a.clone()).collect();
+    let batch_w: Vec<Matrix> = (0..8).map(|_| w.clone()).collect();
+    g.bench_function("bmm_8x2048x64x64", |b| {
+        b.iter(|| gemm::bmm(black_box(&batch_a), black_box(&batch_w)).expect("bmm"))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Full CPU inference (numerics + cost model) of a small MinkUNet.
+    let input = SyntheticDataset::semantic_kitti(0.02, 4).scene(3).expect("scene");
+    let model = MinkUNet::with_width(0.25, 4, 8, 42);
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("minkunet_quarter_cpu", |b| {
+        let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        b.iter(|| engine.run(black_box(&model), black_box(&input)).expect("run"))
+    });
+    g.bench_function("minkunet_quarter_simulate_only", |b| {
+        let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        engine.context_mut().simulate_only = true;
+        b.iter(|| engine.run(black_box(&model), black_box(&input)).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_downsample, bench_gemm, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **Ablation (§4.3.2)**: how the locality-aware ordering's benefit depends
+//! on L2 capacity. The paper's argument is that the weight-stationary
+//! baseline cannot reuse anything because the working set (> 40 MB) dwarfs
+//! the L2 (5.5 MB on RTX 2080 Ti); sweeping simulated L2 sizes makes that
+//! relationship visible — with an enormous L2, ordering stops mattering.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin ablation_cache
+//! [--scale F]`
+
+use torchsparse_bench::{build_model, dataset_for, fmt, measure, scenes, BenchArgs};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset, OptimizationConfig};
+use torchsparse_models::BenchmarkModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.5, 1);
+    let bm = BenchmarkModel::MinkUNetFullSemanticKitti;
+    println!("== Ablation: locality-aware speedup vs L2 capacity ==");
+    println!("workload: {} (scale {})\n", bm.name(), args.scale);
+
+    let ds = dataset_for(bm, args.scale);
+    let inputs = scenes(&ds, args.scenes, args.seed)?;
+    let model = build_model(bm, args.seed);
+
+    let mut rows = Vec::new();
+    for l2_mb in [1u64, 2, 4, 5, 8, 16, 64, 256] {
+        let mut device = DeviceProfile::rtx_2080ti();
+        device.l2_bytes = l2_mb * 1024 * 1024;
+
+        let movement = |locality: bool| -> Result<f64, Box<dyn std::error::Error>> {
+            let mut cfg: OptimizationConfig = EnginePreset::TorchSparse.config();
+            cfg.locality_aware = locality;
+            let mut engine = Engine::with_config(cfg, device.clone());
+            let t = measure(&mut engine, model.as_ref(), &inputs)?;
+            Ok(t.data_movement().as_f64())
+        };
+
+        let ws = movement(false)?;
+        let loc = movement(true)?;
+        rows.push(vec![
+            format!("{l2_mb} MB"),
+            format!("{:.0} us", ws),
+            format!("{:.0} us", loc),
+            fmt::speedup(ws / loc),
+        ]);
+    }
+    println!(
+        "{}",
+        fmt::table(
+            &["L2 capacity", "weight-stationary", "locality-aware", "speedup"],
+            &rows
+        )
+    );
+    println!("Expected shape: the advantage is largest when the cache is scarce and");
+    println!("flattens once the weight-stationary working set fits — but a floor");
+    println!("remains, because locality-aware ordering also issues fewer memory");
+    println!("transactions per map entry, which no amount of cache recovers.");
+    Ok(())
+}

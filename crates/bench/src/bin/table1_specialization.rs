@@ -1,0 +1,156 @@
+//! **Table 1**: specialization of the adaptive grouping strategy for
+//! datasets, models, and hardware.
+//!
+//! The paper tunes `(epsilon, S)` on one configuration and *transfers* the
+//! strategy to another, showing that the strategy specialized for the
+//! execution configuration always wins in latency (up to 13.5% efficiency
+//! difference). Three 2x2 matrices are reported:
+//!
+//! - (a) datasets: SemanticKITTI vs nuScenes (MinkUNet, RTX 2080Ti);
+//! - (b) models: MinkUNet 1.0x vs 0.5x (SemanticKITTI, RTX 2080Ti);
+//! - (c) hardware: RTX 2080Ti vs GTX 1080Ti (nuScenes, MinkUNet).
+//!
+//! For each cell we report the matmul throughput in TFLOP/s (the paper's
+//! metric) and the matmul latency in ms; the latency diagonal must win.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin
+//! table1_specialization [--scale F] [--scenes N]`
+
+use std::collections::HashMap;
+use torchsparse_bench::{build_model, dataset_for, fmt, scenes, BenchArgs};
+use torchsparse_core::LayerWorkload;
+use torchsparse_core::grouping::plan_groups;
+use torchsparse_core::tuning::{grouped_matmul_latency, tune_engine};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset, GroupingStrategy, Precision};
+use torchsparse_gpusim::GemmModel;
+use torchsparse_models::BenchmarkModel;
+
+/// One tunable/executable configuration: its recorded workloads, the tuned
+/// per-layer parameters, and the device it tunes for.
+struct Config {
+    label: String,
+    workloads: Vec<LayerWorkload>,
+    tuned: HashMap<String, (f64, usize)>,
+    device: DeviceProfile,
+}
+
+fn prepare(
+    bm: BenchmarkModel,
+    device: DeviceProfile,
+    args: &BenchArgs,
+    label: &str,
+) -> Result<Config, Box<dyn std::error::Error>> {
+    let ds = dataset_for(bm, args.scale);
+    let inputs = scenes(&ds, args.scenes, args.seed)?;
+    let model = build_model(bm, args.seed);
+    let mut engine = Engine::new(EnginePreset::TorchSparse, device.clone());
+    engine.context_mut().simulate_only = true;
+    tune_engine(&mut engine, model.as_ref(), &inputs, None)?;
+    engine.context_mut().record_workloads = true;
+    engine.run(model.as_ref(), &inputs[0])?;
+    Ok(Config {
+        label: label.to_owned(),
+        workloads: engine.context().workloads.clone(),
+        tuned: engine.context().tuned_groups.clone(),
+        device,
+    })
+}
+
+/// Executes `exec`'s workloads with the strategy tuned by `opt`; returns
+/// (TFLOP/s, latency_us). Layers whose names do not appear in the tuned map
+/// (possible when transferring across models) fall back to the default
+/// adaptive configuration, as a practitioner would.
+fn evaluate(exec: &Config, opt: &Config) -> (f64, f64) {
+    let gemm = GemmModel::new(exec.device.clone());
+    let mut total_us = 0.0;
+    let mut total_flops = 0.0;
+    for w in &exec.workloads {
+        let (epsilon, s_threshold) = opt
+            .tuned
+            .get(&w.name)
+            .copied()
+            .unwrap_or((0.3, 150_000));
+        let strategy = GroupingStrategy::Adaptive { epsilon, s_threshold };
+        total_us += grouped_matmul_latency(w, strategy, &gemm, Precision::Fp16).as_f64();
+        let plan = plan_groups(&w.map_sizes, w.submanifold, strategy);
+        total_flops +=
+            plan.executed_rows(&w.map_sizes) as f64 * 2.0 * w.c_in as f64 * w.c_out as f64;
+    }
+    (total_flops / (total_us * 1e6), total_us)
+}
+
+fn print_matrix(title: &str, a: &Config, b: &Config) {
+    println!("---- {title} ----");
+    let mut rows = Vec::new();
+    for exec in [a, b] {
+        let mut row = vec![format!("execute on {}", exec.label)];
+        let (tf_a, us_a) = evaluate(exec, a);
+        let (tf_b, us_b) = evaluate(exec, b);
+        row.push(format!("{tf_a:.1} TF/s ({:.2} ms)", us_a / 1e3));
+        row.push(format!("{tf_b:.1} TF/s ({:.2} ms)", us_b / 1e3));
+        let diag_wins = if std::ptr::eq(exec, a) { us_a <= us_b } else { us_b <= us_a };
+        row.push(if diag_wins { "diagonal wins".into() } else { "transfer wins (!)".into() });
+        rows.push(row);
+    }
+    let h_a = format!("optimized for {}", a.label);
+    let h_b = format!("optimized for {}", b.label);
+    println!(
+        "{}",
+        fmt::table(&["", h_a.as_str(), h_b.as_str(), "latency check"], &rows)
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.8, 2);
+    println!("== Table 1: specialization of adaptive grouping ==");
+    println!("scale={} scenes={}\n", args.scale, args.scenes);
+
+    // (a) Datasets: MinkUNet (1f) on SK vs NS, RTX 2080Ti.
+    let sk = prepare(
+        BenchmarkModel::MinkUNetFullSemanticKitti,
+        DeviceProfile::rtx_2080ti(),
+        &args,
+        "SemanticKITTI",
+    )?;
+    let ns = prepare(
+        BenchmarkModel::MinkUNetNuScenes1,
+        DeviceProfile::rtx_2080ti(),
+        &args,
+        "nuScenes",
+    )?;
+    print_matrix("(a) dataset specialization (MinkUNet, RTX 2080Ti)", &sk, &ns);
+
+    // (b) Models: MinkUNet 1.0x vs 0.5x on SK, RTX 2080Ti.
+    let full = prepare(
+        BenchmarkModel::MinkUNetFullSemanticKitti,
+        DeviceProfile::rtx_2080ti(),
+        &args,
+        "MinkUNet (1.0x)",
+    )?;
+    let half = prepare(
+        BenchmarkModel::MinkUNetHalfSemanticKitti,
+        DeviceProfile::rtx_2080ti(),
+        &args,
+        "MinkUNet (0.5x)",
+    )?;
+    print_matrix("(b) model specialization (SemanticKITTI, RTX 2080Ti)", &full, &half);
+
+    // (c) Hardware: RTX 2080Ti vs GTX 1080Ti, MinkUNet on nuScenes.
+    let turing = prepare(
+        BenchmarkModel::MinkUNetNuScenes1,
+        DeviceProfile::rtx_2080ti(),
+        &args,
+        "RTX 2080Ti",
+    )?;
+    let pascal = prepare(
+        BenchmarkModel::MinkUNetNuScenes1,
+        DeviceProfile::gtx_1080ti(),
+        &args,
+        "GTX 1080Ti",
+    )?;
+    print_matrix("(c) hardware specialization (nuScenes, MinkUNet)", &turing, &pascal);
+
+    println!("Paper reference (Table 1): the strategy specialized for the execution");
+    println!("configuration always wins in latency; efficiency differs by up to 13.5%.");
+    Ok(())
+}

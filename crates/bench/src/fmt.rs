@@ -1,0 +1,92 @@
+//! Plain-text table and bar-chart helpers for the experiment binaries.
+
+/// Renders a fixed-width text table: a header row and data rows.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_bench::fmt::table;
+///
+/// let s = table(
+///     &["system", "speedup"],
+///     &[vec!["TorchSparse".into(), "1.00".into()]],
+/// );
+/// assert!(s.contains("TorchSparse"));
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal ASCII bar scaled so `max_value` spans `width`
+/// characters.
+pub fn bar(value: f64, max_value: f64, width: usize) -> String {
+    if max_value <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max_value) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Formats a speedup multiplier like the paper (`1.54x`).
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["a", "long-header"],
+            &[vec!["xxxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len() || l.contains('-')));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(1.5), "1.50x");
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see `DESIGN.md`'s per-experiment
+//! index).
+//!
+//! Each `fig*`/`table*` binary is self-contained: it builds the benchmark
+//! models ([`build_model`]) and synthetic datasets ([`dataset_for`]),
+//! measures simulated latencies through the engine, and prints rows/series
+//! shaped like the paper's. Run them with
+//! `cargo run --release -p torchsparse-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use torchsparse_core::{CoreError, Engine, Module, SparseTensor};
+use torchsparse_data::SyntheticDataset;
+use torchsparse_gpusim::Timeline;
+use torchsparse_models::{BenchmarkModel, CenterPoint, MinkUNet};
+
+pub mod fmt;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Scene scale relative to the full datasets (1.0 = full size).
+    pub scale: f64,
+    /// Number of scenes to average over.
+    pub scenes: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Remaining (binary-specific) flags.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses `--scale F`, `--scenes N`, and `--seed N` from `std::env::args`,
+    /// leaving everything else in `rest`.
+    pub fn parse(default_scale: f64, default_scenes: usize) -> BenchArgs {
+        let mut args = BenchArgs {
+            scale: default_scale,
+            scenes: default_scenes,
+            seed: 42,
+            rest: Vec::new(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a float"));
+                }
+                "--scenes" => {
+                    args.scenes = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scenes needs an integer"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                other => args.rest.push(other.to_owned()),
+            }
+        }
+        args
+    }
+
+    /// Whether a binary-specific flag is present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+}
+
+/// The synthetic dataset corresponding to a benchmark configuration.
+pub fn dataset_for(model: BenchmarkModel, scale: f64) -> SyntheticDataset {
+    match model {
+        BenchmarkModel::MinkUNetHalfSemanticKitti | BenchmarkModel::MinkUNetFullSemanticKitti => {
+            SyntheticDataset::semantic_kitti(scale, 4)
+        }
+        BenchmarkModel::MinkUNetNuScenes1 => SyntheticDataset::nuscenes(scale, 4, 1),
+        BenchmarkModel::MinkUNetNuScenes3 => SyntheticDataset::nuscenes(scale, 4, 3),
+        BenchmarkModel::CenterPointNuScenes10 => SyntheticDataset::nuscenes(scale, 5, 10),
+        BenchmarkModel::CenterPointWaymo1 => SyntheticDataset::waymo(scale, 5, 1),
+        BenchmarkModel::CenterPointWaymo3 => SyntheticDataset::waymo(scale, 5, 3),
+    }
+}
+
+/// Builds the network for a benchmark configuration.
+pub fn build_model(model: BenchmarkModel, seed: u64) -> Box<dyn Module> {
+    match model {
+        BenchmarkModel::MinkUNetHalfSemanticKitti => {
+            Box::new(MinkUNet::with_width(0.5, 4, 19, seed))
+        }
+        BenchmarkModel::MinkUNetFullSemanticKitti => {
+            Box::new(MinkUNet::with_width(1.0, 4, 19, seed))
+        }
+        BenchmarkModel::MinkUNetNuScenes1 | BenchmarkModel::MinkUNetNuScenes3 => {
+            Box::new(MinkUNet::with_width(1.0, 4, 16, seed))
+        }
+        BenchmarkModel::CenterPointNuScenes10
+        | BenchmarkModel::CenterPointWaymo1
+        | BenchmarkModel::CenterPointWaymo3 => Box::new(CenterPoint::new(5, seed)),
+    }
+}
+
+/// Generates `n` scenes of a dataset.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from scene generation.
+pub fn scenes(ds: &SyntheticDataset, n: usize, seed: u64) -> Result<Vec<SparseTensor>, CoreError> {
+    (0..n).map(|i| ds.scene(seed + i as u64)).collect()
+}
+
+/// Runs a model over scenes in simulate-only mode and returns the mean
+/// timeline.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn measure<M: Module + ?Sized>(
+    engine: &mut Engine,
+    model: &M,
+    inputs: &[SparseTensor],
+) -> Result<Timeline, CoreError> {
+    engine.context_mut().simulate_only = true;
+    let mut total = Timeline::new();
+    for x in inputs {
+        engine.run(model, x)?;
+        total.merge(engine.last_timeline());
+    }
+    // Average by scaling.
+    let mut avg = Timeline::new();
+    for stage in torchsparse_gpusim::Stage::ALL {
+        avg.add(stage, total.stage(stage) * (1.0 / inputs.len().max(1) as f64));
+    }
+    Ok(avg)
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchsparse_core::{DeviceProfile, EnginePreset};
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn datasets_cover_all_models() {
+        for m in BenchmarkModel::ALL {
+            let ds = dataset_for(m, 0.02);
+            assert!(ds.scene(0).unwrap().len() > 10, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn models_build() {
+        for m in BenchmarkModel::ALL {
+            let model = build_model(m, 1);
+            assert!(model.param_count() > 0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn measure_runs_every_benchmark_model_small() {
+        for m in [BenchmarkModel::MinkUNetHalfSemanticKitti, BenchmarkModel::CenterPointWaymo1] {
+            let ds = dataset_for(m, 0.015);
+            let inputs = scenes(&ds, 1, 0).unwrap();
+            let model = build_model(m, 1);
+            let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+            let t = measure(&mut e, model.as_ref(), &inputs).unwrap();
+            assert!(t.total().as_f64() > 0.0, "{}", m.name());
+        }
+    }
+}

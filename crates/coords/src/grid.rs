@@ -1,0 +1,227 @@
+use crate::table::CoordTable;
+use crate::{Coord, CoordsError};
+
+/// The collision-free grid table (§4.4): a dense array over the coordinate
+/// bounding box, one cell per possible voxel.
+///
+/// "grid corresponds to a naive collision-free grid-based hashmap: it takes
+/// larger memory space, but hashmap construction/query requires exactly one
+/// DRAM access per entry" — this is the data structure SpConv uses for map
+/// search, and the one TorchSparse's adaptive strategy picks when the scene
+/// bounding box is affordable.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_coords::{Coord, CoordTable, GridTable};
+///
+/// let coords = [Coord::new(0, 5, -3, 2), Coord::new(0, 6, -3, 2)];
+/// let (grid, _probes) = GridTable::build(&coords, u64::MAX)?;
+/// assert_eq!(grid.query(Coord::new(0, 6, -3, 2)).0, Some(1));
+/// assert_eq!(grid.query(Coord::new(0, 9, 9, 9)).0, None);
+/// # Ok::<(), torchsparse_coords::CoordsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridTable {
+    /// Inclusive minimum corner of the bounding box (batch, x, y, z).
+    min: [i64; 4],
+    /// Extent along each of (batch, x, y, z).
+    extent: [i64; 4],
+    /// Dense cells; `u32::MAX` marks empty.
+    cells: Vec<u32>,
+    len: usize,
+}
+
+/// Sentinel for an empty cell.
+const EMPTY: u32 = u32::MAX;
+
+impl GridTable {
+    /// Builds a grid table over the bounding box of `coords`, assigning each
+    /// coordinate its list position as the index. Returns the table and the
+    /// number of memory accesses (exactly one write per coordinate).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoordsError::EmptyCoordinates`] if `coords` is empty.
+    /// - [`CoordsError::GridTooLarge`] if the bounding box needs more than
+    ///   `cell_limit` cells (callers fall back to the hashmap in that case,
+    ///   mirroring the paper's per-layer `[grid, hashmap]` choice).
+    pub fn build(coords: &[Coord], cell_limit: u64) -> Result<(Self, u64), CoordsError> {
+        if coords.is_empty() {
+            return Err(CoordsError::EmptyCoordinates);
+        }
+        let mut min = [i64::MAX; 4];
+        let mut max = [i64::MIN; 4];
+        for c in coords {
+            let v = [c.batch as i64, c.x as i64, c.y as i64, c.z as i64];
+            for d in 0..4 {
+                min[d] = min[d].min(v[d]);
+                max[d] = max[d].max(v[d]);
+            }
+        }
+        let extent = [
+            max[0] - min[0] + 1,
+            max[1] - min[1] + 1,
+            max[2] - min[2] + 1,
+            max[3] - min[3] + 1,
+        ];
+        let cells_needed = extent.iter().try_fold(1u64, |acc, &e| {
+            acc.checked_mul(e as u64)
+        });
+        let cells_needed = match cells_needed {
+            Some(n) if n <= cell_limit => n,
+            Some(n) => return Err(CoordsError::GridTooLarge { cells: n, limit: cell_limit }),
+            None => return Err(CoordsError::GridTooLarge { cells: u64::MAX, limit: cell_limit }),
+        };
+
+        let mut table = GridTable {
+            min,
+            extent,
+            cells: vec![EMPTY; cells_needed as usize],
+            len: 0,
+        };
+        let mut accesses = 0;
+        for (i, &c) in coords.iter().enumerate() {
+            accesses += table.insert(c, i as u32);
+        }
+        Ok((table, accesses))
+    }
+
+    /// Flat cell index for an in-bounds coordinate; `None` if outside the box.
+    fn cell_of(&self, c: Coord) -> Option<usize> {
+        let v = [c.batch as i64, c.x as i64, c.y as i64, c.z as i64];
+        let mut idx = 0i64;
+        for ((&value, &min), &extent) in v.iter().zip(&self.min).zip(&self.extent) {
+            let off = value - min;
+            if off < 0 || off >= extent {
+                return None;
+            }
+            idx = idx * extent + off;
+        }
+        Some(idx as usize)
+    }
+}
+
+impl CoordTable for GridTable {
+    fn insert(&mut self, coord: Coord, index: u32) -> u64 {
+        let Some(cell) = self.cell_of(coord) else {
+            // Outside the bounding box the table was built for; treat as a
+            // single failed access (callers construct over the full set, so
+            // this only happens through misuse).
+            return 1;
+        };
+        if self.cells[cell] == EMPTY {
+            self.cells[cell] = index;
+            self.len += 1;
+        }
+        1 // exactly one DRAM access: the collision-free property
+    }
+
+    fn query(&self, coord: Coord) -> (Option<u32>, u64) {
+        match self.cell_of(coord) {
+            Some(cell) => {
+                let v = self.cells[cell];
+                (if v == EMPTY { None } else { Some(v) }, 1)
+            }
+            // Out-of-box coordinates are rejected by the bounds check alone,
+            // before touching memory.
+            None => (None, 0),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (self.cells.len() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoordHashMap;
+
+    fn sample_coords() -> Vec<Coord> {
+        let mut v = Vec::new();
+        for x in -3..3 {
+            for y in 0..4 {
+                v.push(Coord::new(0, x, y, x + y));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let coords = sample_coords();
+        let (grid, accesses) = GridTable::build(&coords, u64::MAX).unwrap();
+        assert_eq!(grid.len(), coords.len());
+        assert_eq!(accesses, coords.len() as u64, "one access per insert");
+        for (i, &c) in coords.iter().enumerate() {
+            let (found, probes) = grid.query(c);
+            assert_eq!(found, Some(i as u32));
+            assert_eq!(probes, 1, "collision-free query is one access");
+        }
+    }
+
+    #[test]
+    fn missing_inside_box() {
+        let coords = [Coord::new(0, 0, 0, 0), Coord::new(0, 2, 2, 2)];
+        let (grid, _) = GridTable::build(&coords, u64::MAX).unwrap();
+        assert_eq!(grid.query(Coord::new(0, 1, 1, 1)).0, None);
+    }
+
+    #[test]
+    fn out_of_box_is_free() {
+        let (grid, _) = GridTable::build(&[Coord::new(0, 0, 0, 0)], u64::MAX).unwrap();
+        let (found, probes) = grid.query(Coord::new(0, 100, 100, 100));
+        assert_eq!(found, None);
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(GridTable::build(&[], u64::MAX).unwrap_err(), CoordsError::EmptyCoordinates);
+    }
+
+    #[test]
+    fn cell_limit_enforced() {
+        let coords = [Coord::new(0, 0, 0, 0), Coord::new(0, 1000, 1000, 1000)];
+        let err = GridTable::build(&coords, 1_000_000).unwrap_err();
+        assert!(matches!(err, CoordsError::GridTooLarge { .. }));
+    }
+
+    #[test]
+    fn agrees_with_hashmap() {
+        let coords = sample_coords();
+        let (grid, _) = GridTable::build(&coords, u64::MAX).unwrap();
+        let (hash, _) = CoordHashMap::build(&coords);
+        for x in -5..5 {
+            for y in -2..6 {
+                for z in -8..8 {
+                    let c = Coord::new(0, x, y, z);
+                    assert_eq!(grid.query(c).0, hash.query(c).0, "disagree on {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_memory_exceeds_hashmap_on_sparse_scenes() {
+        // The paper's tradeoff: grid takes more memory for scattered scenes.
+        let coords: Vec<Coord> = (0..10).map(|i| Coord::new(0, i * 37, i * 11, i * 5)).collect();
+        let (grid, _) = GridTable::build(&coords, u64::MAX).unwrap();
+        let (hash, _) = CoordHashMap::build(&coords);
+        assert!(grid.memory_bytes() > hash.memory_bytes());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let coords = [Coord::new(0, 1, 1, 1), Coord::new(0, 1, 1, 1)];
+        let (grid, _) = GridTable::build(&coords, u64::MAX).unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.query(coords[0]).0, Some(0));
+    }
+}

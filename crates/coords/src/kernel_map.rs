@@ -1,0 +1,435 @@
+//! Map search (Algorithm 1 of the paper).
+//!
+//! A *kernel map* records, for every kernel offset `δ_n`, the list of
+//! `(input index, output index)` pairs whose coordinates satisfy
+//! `p_j = s * q_k + δ_n`. The gather–matmul–scatter dataflow is driven
+//! entirely by this structure; its per-offset sizes are the workload
+//! statistics behind the paper's grouping study (Figure 12).
+
+use crate::offsets::{self, kernel_offsets};
+use crate::table::{CoordTable, MappingStats};
+use crate::{Coord, CoordsError};
+
+/// One input→output pair of a kernel map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapEntry {
+    /// Index into the input coordinate/feature list.
+    pub input: u32,
+    /// Index into the output coordinate/feature list.
+    pub output: u32,
+}
+
+/// The kernel map `M` for one sparse convolution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMap {
+    kernel_size: usize,
+    stride: i32,
+    per_offset: Vec<Vec<MapEntry>>,
+    /// Memory accesses spent building this map.
+    pub stats: MappingStats,
+}
+
+impl KernelMap {
+    /// Creates a kernel map from raw per-offset entry lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordsError::ZeroKernelSize`] / [`CoordsError::ZeroStride`]
+    /// on degenerate parameters, and [`CoordsError::EmptyCoordinates`] if the
+    /// number of entry lists is not `kernel_size^3`.
+    pub fn from_parts(
+        kernel_size: usize,
+        stride: i32,
+        per_offset: Vec<Vec<MapEntry>>,
+        stats: MappingStats,
+    ) -> Result<Self, CoordsError> {
+        if kernel_size == 0 {
+            return Err(CoordsError::ZeroKernelSize);
+        }
+        if stride == 0 {
+            return Err(CoordsError::ZeroStride);
+        }
+        if per_offset.len() != offsets::kernel_volume(kernel_size) {
+            return Err(CoordsError::EmptyCoordinates);
+        }
+        Ok(KernelMap { kernel_size, stride, per_offset, stats })
+    }
+
+    /// Kernel size `K`.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> i32 {
+        self.stride
+    }
+
+    /// The entries for kernel offset index `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= K^3`.
+    pub fn entries(&self, n: usize) -> &[MapEntry] {
+        &self.per_offset[n]
+    }
+
+    /// Number of kernel offsets (`K^3`).
+    pub fn num_offsets(&self) -> usize {
+        self.per_offset.len()
+    }
+
+    /// Map size per offset — the paper's workload statistic (Figure 12).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.per_offset.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of map entries `|M|`.
+    pub fn total_entries(&self) -> usize {
+        self.per_offset.iter().map(Vec::len).sum()
+    }
+
+    /// Returns the transposed map (inputs and outputs swapped, offsets
+    /// mirrored), used by inverse/transposed convolution in UNet decoders.
+    ///
+    /// For odd kernels the mirrored offset of `n` is `K^3 - 1 - n`; for even
+    /// kernels there is no mirror, so entries stay at their offset (the
+    /// decoder consumes them with swapped roles only).
+    pub fn transposed(&self) -> KernelMap {
+        let volume = self.per_offset.len();
+        let mut per_offset = vec![Vec::new(); volume];
+        for (n, entries) in self.per_offset.iter().enumerate() {
+            let target = if offsets::has_mirror_property(self.kernel_size) {
+                offsets::mirror_index(self.kernel_size, n)
+            } else {
+                n
+            };
+            per_offset[target] =
+                entries.iter().map(|e| MapEntry { input: e.output, output: e.input }).collect();
+        }
+        KernelMap {
+            kernel_size: self.kernel_size,
+            stride: self.stride,
+            per_offset,
+            stats: MappingStats::default(),
+        }
+    }
+}
+
+/// Searches the kernel map by querying every output neighborhood
+/// (Algorithm 1): for each output `q_k` and offset `δ_n`, probe the input
+/// table for `s * q_k + δ_n`.
+///
+/// `table` must have been built over `in_coords` (indices = positions).
+///
+/// # Errors
+///
+/// Returns [`CoordsError::ZeroKernelSize`] or [`CoordsError::ZeroStride`] on
+/// degenerate parameters.
+pub fn search(
+    out_coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+    stride: i32,
+) -> Result<KernelMap, CoordsError> {
+    search_dilated(out_coords, table, kernel_size, stride, 1)
+}
+
+/// [`search`] with a dilation factor: probes `s * q_k + d * δ_n`, the
+/// dilated (à-trous) sparse convolution supported by SpConv-style engines.
+///
+/// # Errors
+///
+/// Returns [`CoordsError::ZeroStride`] if `stride == 0` or `dilation == 0`,
+/// and [`CoordsError::ZeroKernelSize`] if `kernel_size == 0`.
+pub fn search_dilated(
+    out_coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+    stride: i32,
+    dilation: i32,
+) -> Result<KernelMap, CoordsError> {
+    if stride == 0 || dilation == 0 {
+        return Err(CoordsError::ZeroStride);
+    }
+    let offs = kernel_offsets(kernel_size)?;
+    let mut per_offset = vec![Vec::new(); offs.len()];
+    let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };
+    for (k, q) in out_coords.iter().enumerate() {
+        let base = q.scaled(stride);
+        for (n, &d) in offs.iter().enumerate() {
+            let r = base.offset([d[0] * dilation, d[1] * dilation, d[2] * dilation]);
+            let (found, probes) = table.query(r);
+            stats.reads += probes;
+            if let Some(j) = found {
+                per_offset[n].push(MapEntry { input: j, output: k as u32 });
+                stats.writes += 1; // append the map entry
+            }
+        }
+    }
+    KernelMap::from_parts(kernel_size, stride, per_offset, stats)
+}
+
+/// Symmetry-exploiting map search for stride-1 submanifold layers with odd
+/// kernel size (§4.2.1, §4.4 "utilize the symmetry of submanifold maps").
+///
+/// Only the first `(K^3 - 1) / 2` offsets are actually searched; the mirror
+/// offsets reuse the same entries with input/output swapped, and the center
+/// offset is the identity map. This halves the query traffic — the "symmetry"
+/// bar of Figure 13.
+///
+/// `coords` serves as both input and output coordinates (submanifold).
+///
+/// # Errors
+///
+/// Returns [`CoordsError::ZeroKernelSize`] if `kernel_size == 0` and
+/// [`CoordsError::ZeroStride`] if the kernel size is even (no mirror
+/// property to exploit — callers should fall back to [`search`]).
+pub fn search_submanifold_symmetric(
+    coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+) -> Result<KernelMap, CoordsError> {
+    search_submanifold_symmetric_dilated(coords, table, kernel_size, 1)
+}
+
+/// [`search_submanifold_symmetric`] with a dilation factor — the mirror
+/// property is preserved under offset scaling, so the half-search trick
+/// applies to dilated submanifold layers too.
+///
+/// # Errors
+///
+/// Same conditions as [`search_submanifold_symmetric`], plus
+/// [`CoordsError::ZeroStride`] when `dilation == 0`.
+pub fn search_submanifold_symmetric_dilated(
+    coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+    dilation: i32,
+) -> Result<KernelMap, CoordsError> {
+    if kernel_size == 0 {
+        return Err(CoordsError::ZeroKernelSize);
+    }
+    if !offsets::has_mirror_property(kernel_size) || dilation == 0 {
+        return Err(CoordsError::ZeroStride);
+    }
+    let offs = kernel_offsets(kernel_size)?;
+    let volume = offs.len();
+    let center = offsets::center_index(kernel_size).expect("odd kernel has a center");
+    let mut per_offset = vec![Vec::new(); volume];
+    let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };
+
+    // Center offset: identity map, no table queries at all.
+    per_offset[center] =
+        (0..coords.len() as u32).map(|i| MapEntry { input: i, output: i }).collect();
+
+    for n in 0..center {
+        let d = offs[n];
+        let mirror = offsets::mirror_index(kernel_size, n);
+        for (k, q) in coords.iter().enumerate() {
+            let r = q.offset([d[0] * dilation, d[1] * dilation, d[2] * dilation]);
+            let (found, probes) = table.query(r);
+            stats.reads += probes;
+            if let Some(j) = found {
+                per_offset[n].push(MapEntry { input: j, output: k as u32 });
+                // Mirror entry: (q_k, p_j, W_{-δ}) is also a valid map entry.
+                per_offset[mirror].push(MapEntry { input: k as u32, output: j });
+                stats.writes += 2;
+            }
+        }
+    }
+    KernelMap::from_parts(kernel_size, 1, per_offset, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoordHashMap, GridTable};
+
+    /// A small L-shaped scene in one plane.
+    fn scene() -> Vec<Coord> {
+        vec![
+            Coord::new(0, 0, 0, 0),
+            Coord::new(0, 1, 0, 0),
+            Coord::new(0, 2, 0, 0),
+            Coord::new(0, 2, 1, 0),
+            Coord::new(0, 2, 2, 0),
+        ]
+    }
+
+    #[test]
+    fn submanifold_search_finds_neighbors() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let map = search(&coords, &table, 3, 1).unwrap();
+        // Center offset must be the identity map.
+        let center = offsets::center_index(3).unwrap();
+        assert_eq!(map.entries(center).len(), coords.len());
+        for e in map.entries(center) {
+            assert_eq!(e.input, e.output);
+        }
+        // Offset (+1, 0, 0) (index of [1,0,0] in lexicographic order).
+        let offs = kernel_offsets(3).unwrap();
+        let plus_x = offs.iter().position(|&d| d == [1, 0, 0]).unwrap();
+        // q + (1,0,0) = p means p is the +x neighbor of q.
+        // Neighbor pairs along x: (0,0,0)->(1,0,0), (1,0,0)->(2,0,0).
+        assert_eq!(map.entries(plus_x).len(), 2);
+    }
+
+    #[test]
+    fn symmetric_search_matches_full_search() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let full = search(&coords, &table, 3, 1).unwrap();
+        let sym = search_submanifold_symmetric(&coords, &table, 3).unwrap();
+        for n in 0..27 {
+            let mut a: Vec<_> = full.entries(n).to_vec();
+            let mut b: Vec<_> = sym.entries(n).to_vec();
+            a.sort_by_key(|e| (e.output, e.input));
+            b.sort_by_key(|e| (e.output, e.input));
+            assert_eq!(a, b, "offset {n} differs");
+        }
+    }
+
+    #[test]
+    fn symmetric_search_halves_queries() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let full = search(&coords, &table, 3, 1).unwrap();
+        let sym = search_submanifold_symmetric(&coords, &table, 3).unwrap();
+        assert!(
+            sym.stats.reads * 2 <= full.stats.reads,
+            "symmetric reads {} should be at most half of {}",
+            sym.stats.reads,
+            full.stats.reads
+        );
+    }
+
+    #[test]
+    fn symmetric_rejects_even_kernels() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        assert!(search_submanifold_symmetric(&coords, &table, 2).is_err());
+    }
+
+    #[test]
+    fn map_sizes_mirror_for_submanifold() {
+        // §4.2.1: maps for ±δ always have the same size.
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let map = search(&coords, &table, 3, 1).unwrap();
+        let sizes = map.sizes();
+        for n in 0..27 {
+            assert_eq!(sizes[n], sizes[26 - n], "offset {n} vs mirror");
+        }
+    }
+
+    #[test]
+    fn grid_and_hashmap_produce_identical_maps() {
+        let coords = scene();
+        let (hash, _) = CoordHashMap::build(&coords);
+        let (grid, _) = GridTable::build(&coords, u64::MAX).unwrap();
+        let a = search(&coords, &hash, 3, 1).unwrap();
+        let b = search(&coords, &grid, 3, 1).unwrap();
+        for n in 0..27 {
+            assert_eq!(a.entries(n), b.entries(n));
+        }
+    }
+
+    #[test]
+    fn strided_search_uses_scaled_outputs() {
+        // Inputs on a line; stride-2 output at (0,0,0) should see inputs
+        // within the kernel window around (0,0,0)*2.
+        let inputs = vec![Coord::new(0, 0, 0, 0), Coord::new(0, 1, 0, 0), Coord::new(0, 3, 0, 0)];
+        let (table, _) = CoordHashMap::build(&inputs);
+        let outputs = vec![Coord::new(0, 0, 0, 0), Coord::new(0, 1, 0, 0)];
+        let map = search(&outputs, &table, 3, 2).unwrap();
+        // Output 0 (site 0): offsets -1..1 around x=0 catch inputs x=0 (δ=0), x=1 (δ=1).
+        // Output 1 (site 2): catches x=1 (δ=-1), x=3 (δ=1).
+        assert_eq!(map.total_entries(), 4);
+    }
+
+    #[test]
+    fn transposed_swaps_roles() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let map = search(&coords, &table, 3, 1).unwrap();
+        let t = map.transposed();
+        assert_eq!(t.total_entries(), map.total_entries());
+        // An entry (j -> k) at offset n becomes (k -> j) at the mirror offset,
+        // which for submanifold maps reproduces the original map exactly.
+        for n in 0..27 {
+            let mut orig: Vec<_> = map.entries(n).to_vec();
+            let mut tr: Vec<_> = t.entries(n).to_vec();
+            orig.sort_by_key(|e| (e.output, e.input));
+            tr.sort_by_key(|e| (e.output, e.input));
+            assert_eq!(orig, tr);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(KernelMap::from_parts(0, 1, vec![], MappingStats::default()).is_err());
+        assert!(KernelMap::from_parts(3, 0, vec![Vec::new(); 27], MappingStats::default()).is_err());
+        assert!(KernelMap::from_parts(3, 1, vec![Vec::new(); 26], MappingStats::default()).is_err());
+        assert!(KernelMap::from_parts(3, 1, vec![Vec::new(); 27], MappingStats::default()).is_ok());
+    }
+
+    #[test]
+    fn dilated_search_reaches_farther() {
+        // Points two apart: dilation 2 links them through the unit offsets.
+        let coords = vec![Coord::new(0, 0, 0, 0), Coord::new(0, 2, 0, 0)];
+        let (table, _) = CoordHashMap::build(&coords);
+        let plain = search(&coords, &table, 3, 1).unwrap();
+        let dilated = search_dilated(&coords, &table, 3, 1, 2).unwrap();
+        // Without dilation only the identity offset matches.
+        assert_eq!(plain.total_entries(), 2);
+        // With dilation 2, offsets (+-1,0,0) land on the neighbor too.
+        assert_eq!(dilated.total_entries(), 4);
+    }
+
+    #[test]
+    fn dilated_symmetric_matches_dilated_full() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let full = search_dilated(&coords, &table, 3, 1, 2).unwrap();
+        let sym = search_submanifold_symmetric_dilated(&coords, &table, 3, 2).unwrap();
+        for n in 0..27 {
+            let mut a: Vec<_> = full.entries(n).to_vec();
+            let mut b: Vec<_> = sym.entries(n).to_vec();
+            a.sort_by_key(|e| (e.output, e.input));
+            b.sort_by_key(|e| (e.output, e.input));
+            assert_eq!(a, b, "offset {n} differs under dilation");
+        }
+    }
+
+    #[test]
+    fn zero_dilation_rejected() {
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        assert!(search_dilated(&coords, &table, 3, 1, 0).is_err());
+        assert!(search_submanifold_symmetric_dilated(&coords, &table, 3, 0).is_err());
+    }
+
+    #[test]
+    fn multi_batch_isolation() {
+        // Identical geometry in two batches must not cross-link.
+        let coords = vec![
+            Coord::new(0, 0, 0, 0),
+            Coord::new(0, 1, 0, 0),
+            Coord::new(1, 0, 0, 0),
+            Coord::new(1, 1, 0, 0),
+        ];
+        let (table, _) = CoordHashMap::build(&coords);
+        let map = search(&coords, &table, 3, 1).unwrap();
+        for n in 0..27 {
+            for e in map.entries(n) {
+                assert_eq!(
+                    coords[e.input as usize].batch,
+                    coords[e.output as usize].batch,
+                    "map entry crosses batches"
+                );
+            }
+        }
+    }
+}

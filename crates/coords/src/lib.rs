@@ -1,0 +1,82 @@
+//! Coordinate management for sparse convolution.
+//!
+//! Sparse convolution (paper §2) is driven entirely by *maps*
+//! `M = {(p_j, q_k, W_δ)}` relating nonzero input coordinates to output
+//! coordinates through kernel offsets. This crate implements every mapping
+//! operation the paper describes:
+//!
+//! - [`Coord`]: a batched integer 3D coordinate.
+//! - [`offsets`]: kernel offset enumeration `Δ^D(K)` with the symmetric
+//!   ordering required by the paper's symmetric grouping (§4.2.1).
+//! - [`CoordHashMap`]: the "conventional hashmap" — open addressing with
+//!   linear probing, counting memory probes for the cost model (§4.4).
+//! - [`GridTable`]: the collision-free grid table — exactly one memory
+//!   access per construction/query entry, at the price of dense storage.
+//! - [`downsample`]: output coordinate calculation for strided convolution
+//!   (Algorithm 3), in both the 5-stage *staged* form (DRAM-visible
+//!   intermediates, the baseline) and the *fused* single-kernel form
+//!   (§4.4, Figure 10).
+//! - [`kernel_map`]: map search (Algorithm 1) over any coordinate table,
+//!   including the symmetry-exploiting fast path for odd-kernel stride-1
+//!   layers.
+//!
+//! All operations also report the access statistics ([`MappingStats`]) that
+//! the GPU cost simulator folds into mapping latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod grid;
+mod hashmap;
+mod table;
+
+pub mod downsample;
+pub mod kernel_map;
+pub mod offsets;
+
+pub use coord::Coord;
+pub use grid::GridTable;
+pub use hashmap::CoordHashMap;
+pub use kernel_map::{KernelMap, MapEntry};
+pub use table::{CoordTable, MappingStats};
+
+use std::fmt;
+
+/// Error type for coordinate-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordsError {
+    /// A kernel size of zero was requested.
+    ZeroKernelSize,
+    /// A stride of zero was requested.
+    ZeroStride,
+    /// The coordinate set is empty where a non-empty set is required.
+    EmptyCoordinates,
+    /// A grid table would exceed the configured capacity limit.
+    GridTooLarge {
+        /// Number of cells the bounding box requires.
+        cells: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Duplicate coordinates were supplied where uniqueness is required.
+    DuplicateCoordinate(Coord),
+}
+
+impl fmt::Display for CoordsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordsError::ZeroKernelSize => write!(f, "kernel size must be at least 1"),
+            CoordsError::ZeroStride => write!(f, "stride must be at least 1"),
+            CoordsError::EmptyCoordinates => write!(f, "coordinate set is empty"),
+            CoordsError::GridTooLarge { cells, limit } => {
+                write!(f, "grid table needs {cells} cells, exceeding the limit of {limit}")
+            }
+            CoordsError::DuplicateCoordinate(c) => {
+                write!(f, "duplicate coordinate {c:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordsError {}

@@ -1,0 +1,88 @@
+use crate::Coord;
+
+/// Memory-access statistics of a mapping operation.
+///
+/// The paper's mapping analysis (§3, §4.4) is memory-bound: "hashmap
+/// construction and output coordinate calculation both require multiple DRAM
+/// accesses". Every table and mapping routine in this crate therefore
+/// reports how many random DRAM accesses it performed, and the GPU cost
+/// simulator turns these counts into latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MappingStats {
+    /// Random-access reads of table/intermediate storage.
+    pub reads: u64,
+    /// Random-access writes of table/intermediate storage.
+    pub writes: u64,
+    /// Number of distinct GPU kernels this operation would launch.
+    pub kernel_launches: u64,
+    /// Sliding-window candidates evaluated in registers by a fused kernel
+    /// (costed as ALU time by the latency model; zero for memory-bound
+    /// staged pipelines).
+    pub candidate_ops: u64,
+}
+
+impl MappingStats {
+    /// Sum of reads and writes.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: MappingStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.kernel_launches += other.kernel_launches;
+        self.candidate_ops += other.candidate_ops;
+    }
+}
+
+/// A coordinate-to-index table: the data structure behind map search.
+///
+/// Two implementations exist, matching the paper's `[grid, hashmap]`
+/// strategy space (§4.4):
+///
+/// - [`crate::CoordHashMap`]: open addressing, compact but with collision
+///   probes;
+/// - [`crate::GridTable`]: collision-free dense grid, exactly one access per
+///   operation but with bounding-box storage.
+///
+/// Queries return the index assigned at insertion (the position of the
+/// coordinate in the input coordinate list) together with the number of
+/// memory probes performed, so callers can attribute cost precisely.
+pub trait CoordTable {
+    /// Inserts a coordinate with its index; returns the number of memory
+    /// probes. Inserting a duplicate coordinate is a no-op that keeps the
+    /// first index (matching engine semantics where coordinates are unique).
+    fn insert(&mut self, coord: Coord, index: u32) -> u64;
+
+    /// Looks up a coordinate; returns the index if present and the number of
+    /// memory probes performed.
+    fn query(&self, coord: Coord) -> (Option<u32>, u64);
+
+    /// Number of coordinates stored.
+    fn len(&self) -> usize;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of device memory the table occupies (for the cost model).
+    fn memory_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = MappingStats { reads: 1, writes: 2, kernel_launches: 3, candidate_ops: 4 };
+        a.merge(MappingStats { reads: 10, writes: 20, kernel_launches: 30, candidate_ops: 40 });
+        assert_eq!(
+            a,
+            MappingStats { reads: 11, writes: 22, kernel_launches: 33, candidate_ops: 44 }
+        );
+        assert_eq!(a.total_accesses(), 33);
+    }
+}

@@ -1,0 +1,254 @@
+//! Engine configuration: the paper's full optimization space, plus presets
+//! reproducing the systems it is evaluated against.
+
+use serde::{Deserialize, Serialize};
+
+/// Feature storage precision (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit features — every baseline's starting point.
+    Fp32,
+    /// 16-bit features with FP32 accumulation — TorchSparse's choice.
+    Fp16,
+    /// 8-bit features; scatter still runs at 16 bits because the multi-way
+    /// reduction needs more than 8 bits and CUDA requires aligned access —
+    /// the paper's reason INT8 gives diminishing returns.
+    Int8,
+}
+
+/// Matrix multiplication grouping strategy (§4.2, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GroupingStrategy {
+    /// One `mm` per kernel offset (Figure 6b) — MinkowskiEngine/SpConv.
+    Separate,
+    /// Batch each symmetric offset pair (`batch = 2`, Figure 6/§4.2.1);
+    /// only applies to odd-kernel stride-1 layers, otherwise falls back to
+    /// separate.
+    Symmetric,
+    /// Three fixed groups (§4.2.2): first half, center, second half, padded
+    /// to the group maximum.
+    Fixed,
+    /// The paper's adaptive grouping (§4.2.3, Algorithms 4-5) with redundancy
+    /// tolerance `epsilon` and mm/bmm workload threshold `s_threshold`.
+    Adaptive {
+        /// Tolerance of redundant computation in `[0, 1]`.
+        epsilon: f64,
+        /// Groups whose max workload is below this run as `bmm`, others as
+        /// `mm` (`S` in the paper).
+        s_threshold: usize,
+    },
+}
+
+impl GroupingStrategy {
+    /// The paper's default adaptive configuration before per-layer tuning.
+    pub fn default_adaptive() -> GroupingStrategy {
+        GroupingStrategy::Adaptive { epsilon: 0.3, s_threshold: 150_000 }
+    }
+}
+
+/// Map search data structure choice (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapSearchStrategy {
+    /// Conventional open-addressing hashmap (MinkowskiEngine-style).
+    Hashmap,
+    /// Collision-free dense grid (SpConv-style); falls back to the hashmap
+    /// when the scene bounding box exceeds the cell budget.
+    Grid,
+    /// Choose per layer: grid when affordable, else hashmap — TorchSparse's
+    /// auto-selected strategy.
+    Auto,
+}
+
+/// The full optimization configuration of one engine instance.
+///
+/// Every toggle corresponds to a paper section; the ablation tables flip
+/// them one at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationConfig {
+    /// Feature storage precision (§4.3.1).
+    pub precision: Precision,
+    /// Vectorized (`half2`) memory access for FP16 (§4.3.1, Figure 8b).
+    pub vectorized: bool,
+    /// Fuse all gathers before matmul and all scatters after (§4.3.2).
+    pub fused_gather_scatter: bool,
+    /// Input-stationary gather / output-stationary scatter order (§4.3.2,
+    /// Figure 9b).
+    pub locality_aware: bool,
+    /// Matmul grouping strategy (§4.2).
+    pub grouping: GroupingStrategy,
+    /// Map search table (§4.4).
+    pub map_search: MapSearchStrategy,
+    /// Fuse the four output-coordinate kernels of downsampling (§4.4,
+    /// Figure 10).
+    pub fused_downsample: bool,
+    /// Simplified control logic + full loop unrolling in mapping kernels
+    /// (§4.4).
+    pub simplified_mapping_kernels: bool,
+    /// Exploit the symmetry of submanifold maps during search (§4.4).
+    pub symmetric_map_search: bool,
+    /// Use the fetch-on-demand dataflow when the layer's average map size is
+    /// below this bound (MinkowskiEngine's small-workload path, §5.2);
+    /// `None` always uses gather-matmul-scatter.
+    pub fetch_on_demand_below: Option<usize>,
+    /// Maximum grid-table cells before falling back to the hashmap.
+    pub grid_cell_limit: u64,
+    /// Compute the center-offset workload of submanifold layers directly
+    /// from the input features, skipping its gather/scatter entirely
+    /// (§4.2.1: "the kernel offset (0,0,0) ... does not require any explicit
+    /// data movement").
+    pub skip_center_movement: bool,
+}
+
+impl OptimizationConfig {
+    /// Fully optimized TorchSparse configuration.
+    pub fn torchsparse() -> OptimizationConfig {
+        OptimizationConfig {
+            precision: Precision::Fp16,
+            vectorized: true,
+            fused_gather_scatter: true,
+            locality_aware: true,
+            grouping: GroupingStrategy::default_adaptive(),
+            map_search: MapSearchStrategy::Auto,
+            fused_downsample: true,
+            simplified_mapping_kernels: true,
+            symmetric_map_search: true,
+            fetch_on_demand_below: None,
+            grid_cell_limit: 1 << 28,
+            skip_center_movement: true,
+        }
+    }
+
+    /// The paper's unoptimized FP32 baseline (§5.1: "a baseline FP32 design
+    /// without optimizations in Section 4").
+    pub fn baseline_fp32() -> OptimizationConfig {
+        OptimizationConfig {
+            precision: Precision::Fp32,
+            vectorized: false,
+            fused_gather_scatter: false,
+            locality_aware: false,
+            grouping: GroupingStrategy::Separate,
+            map_search: MapSearchStrategy::Hashmap,
+            fused_downsample: false,
+            simplified_mapping_kernels: false,
+            symmetric_map_search: false,
+            fetch_on_demand_below: None,
+            grid_cell_limit: 1 << 28,
+            skip_center_movement: false,
+        }
+    }
+
+    /// MinkowskiEngine v0.5.4-style configuration: conventional hashmap,
+    /// separate FP32 matmuls, fetch-on-demand for small workloads.
+    pub fn minkowski_engine() -> OptimizationConfig {
+        OptimizationConfig {
+            fetch_on_demand_below: Some(5_000),
+            ..Self::baseline_fp32()
+        }
+    }
+
+    /// SpConv v1.2.1-style configuration (FP32): grid map search, separate
+    /// matmuls, staged downsampling.
+    pub fn spconv_fp32() -> OptimizationConfig {
+        OptimizationConfig { map_search: MapSearchStrategy::Grid, ..Self::baseline_fp32() }
+    }
+
+    /// SpConv's FP16 mode: quantized but *scalar* (non-vectorized) data
+    /// movement and no grouping — the comparison of §5.2.
+    pub fn spconv_fp16() -> OptimizationConfig {
+        OptimizationConfig { precision: Precision::Fp16, ..Self::spconv_fp32() }
+    }
+}
+
+/// Named engine presets for the systems the paper evaluates (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnginePreset {
+    /// This paper's system, fully optimized.
+    TorchSparse,
+    /// Unoptimized FP32 baseline.
+    BaselineFp32,
+    /// MinkowskiEngine v0.5.4 (FP32 + fetch-on-demand).
+    MinkowskiEngine,
+    /// SpConv v1.2.1, FP32.
+    SpConv,
+    /// SpConv v1.2.1, FP16.
+    SpConvFp16,
+}
+
+impl EnginePreset {
+    /// The preset's optimization configuration.
+    pub fn config(self) -> OptimizationConfig {
+        match self {
+            EnginePreset::TorchSparse => OptimizationConfig::torchsparse(),
+            EnginePreset::BaselineFp32 => OptimizationConfig::baseline_fp32(),
+            EnginePreset::MinkowskiEngine => OptimizationConfig::minkowski_engine(),
+            EnginePreset::SpConv => OptimizationConfig::spconv_fp32(),
+            EnginePreset::SpConvFp16 => OptimizationConfig::spconv_fp16(),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePreset::TorchSparse => "TorchSparse",
+            EnginePreset::BaselineFp32 => "Baseline (FP32)",
+            EnginePreset::MinkowskiEngine => "MinkowskiEngine",
+            EnginePreset::SpConv => "SpConv",
+            EnginePreset::SpConvFp16 => "SpConv (FP16)",
+        }
+    }
+
+    /// The four systems compared in Figure 11, in plot order.
+    pub fn figure11_systems() -> [EnginePreset; 4] {
+        [
+            EnginePreset::MinkowskiEngine,
+            EnginePreset::SpConvFp16,
+            EnginePreset::BaselineFp32,
+            EnginePreset::TorchSparse,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torchsparse_preset_enables_everything() {
+        let c = EnginePreset::TorchSparse.config();
+        assert_eq!(c.precision, Precision::Fp16);
+        assert!(c.vectorized && c.fused_gather_scatter && c.locality_aware);
+        assert!(c.fused_downsample && c.simplified_mapping_kernels && c.symmetric_map_search);
+        assert!(matches!(c.grouping, GroupingStrategy::Adaptive { .. }));
+        assert_eq!(c.map_search, MapSearchStrategy::Auto);
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let c = EnginePreset::BaselineFp32.config();
+        assert_eq!(c.precision, Precision::Fp32);
+        assert!(!c.vectorized && !c.fused_gather_scatter && !c.locality_aware);
+        assert!(matches!(c.grouping, GroupingStrategy::Separate));
+    }
+
+    #[test]
+    fn minkowski_uses_fetch_on_demand() {
+        let c = EnginePreset::MinkowskiEngine.config();
+        assert!(c.fetch_on_demand_below.is_some());
+        assert_eq!(c.map_search, MapSearchStrategy::Hashmap);
+    }
+
+    #[test]
+    fn spconv_uses_grid() {
+        assert_eq!(EnginePreset::SpConv.config().map_search, MapSearchStrategy::Grid);
+        assert_eq!(EnginePreset::SpConvFp16.config().precision, Precision::Fp16);
+        assert!(!EnginePreset::SpConvFp16.config().vectorized, "SpConv FP16 is scalar");
+    }
+
+    #[test]
+    fn preset_names_unique() {
+        let mut names: Vec<&str> = EnginePreset::figure11_systems().iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

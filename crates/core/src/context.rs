@@ -1,0 +1,271 @@
+use crate::config::OptimizationConfig;
+use crate::CoreError;
+use std::collections::HashMap;
+use std::sync::Arc;
+use torchsparse_coords::{Coord, KernelMap};
+use torchsparse_gpusim::{DeviceProfile, GemmModel, MemorySim, Timeline};
+
+/// Key identifying a cached kernel map within one inference run.
+///
+/// Real engines key maps on (tensor stride, kernel size, conv stride) via a
+/// coordinate manager (MinkowskiEngine) or `indice_key` (SpConv);
+/// TorchSparse performs the same caching internally so users never annotate
+/// their models (§4.1). The key always uses the *finer* tensor stride of the
+/// layer, so a transposed convolution finds the map of the downsampling
+/// layer it inverts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MapKey {
+    /// Tensor stride of the finer (higher-resolution) side.
+    pub fine_stride: i32,
+    /// Kernel size.
+    pub kernel_size: usize,
+    /// Convolution stride.
+    pub conv_stride: i32,
+    /// Dilation factor.
+    pub dilation: i32,
+}
+
+/// A cached map together with the coordinate lists it connects.
+#[derive(Debug)]
+pub struct CachedMap {
+    /// The kernel map from fine to coarse coordinates.
+    pub map: KernelMap,
+    /// Coordinates on the fine side (inputs of the downsample).
+    pub fine_coords: Vec<Coord>,
+    /// Coordinates on the coarse side (outputs of the downsample). For
+    /// stride-1 layers this equals `fine_coords`.
+    pub coarse_coords: Vec<Coord>,
+}
+
+/// Per-layer workload record captured during a profiling run, consumed by
+/// the adaptive-grouping tuner (Algorithm 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWorkload {
+    /// Layer name.
+    pub name: String,
+    /// Per-offset map sizes.
+    pub map_sizes: Vec<usize>,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Whether the layer is a stride-1 submanifold conv with odd kernel
+    /// (enables the symmetric pairing in grouping).
+    pub submanifold: bool,
+}
+
+/// Execution context: device models, per-stage timeline, map cache, and the
+/// tuned adaptive-grouping parameters.
+///
+/// One context corresponds to one engine instance pinned to one simulated
+/// device. It is threaded mutably through every layer's `forward`.
+pub struct Context {
+    /// The optimization configuration in force.
+    pub config: OptimizationConfig,
+    /// The simulated device.
+    pub device: DeviceProfile,
+    /// Memory transaction/cache simulator (reset per run).
+    pub mem: MemorySim,
+    /// GEMM latency model.
+    pub gemm: GemmModel,
+    /// Per-stage latency ledger for the current run.
+    pub timeline: Timeline,
+    map_cache: HashMap<MapKey, Arc<CachedMap>>,
+    /// Per-layer tuned `(epsilon, S)` for adaptive grouping, filled by
+    /// [`crate::tuning`].
+    pub tuned_groups: HashMap<String, (f64, usize)>,
+    /// Workloads recorded when `record_workloads` is on.
+    pub workloads: Vec<LayerWorkload>,
+    /// Whether layers should append to [`Context::workloads`].
+    pub record_workloads: bool,
+    /// Skip the real numerical computation and only account simulated cost.
+    ///
+    /// Simulated latency is a function of coordinates and maps alone, never
+    /// of feature *values*, so dry runs report identical timelines while
+    /// running much faster — benchmark drivers use this to afford
+    /// full-scale scenes. Outputs are zero-filled in this mode.
+    pub simulate_only: bool,
+    /// Per-layer timeline records captured when [`Context::profile_layers`]
+    /// is on (leaf layers append one entry per forward).
+    pub layer_profiles: Vec<LayerProfile>,
+    /// Whether leaf layers should record per-layer profiles.
+    pub profile_layers: bool,
+}
+
+/// One leaf layer's contribution to a run, captured by the layer profiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    /// Layer name.
+    pub name: String,
+    /// Number of input points the layer saw.
+    pub input_points: usize,
+    /// The stage latencies attributable to this layer invocation.
+    pub timeline: Timeline,
+}
+
+/// Host-side framework overhead per layer operation, microseconds.
+///
+/// TorchSparse, SpConv, and MinkowskiEngine are all PyTorch extensions:
+/// every layer pays Python dispatch, tensor bookkeeping, and launch-queue
+/// management on the CPU. This fixed cost is identical across engines and
+/// is what keeps measured end-to-end speedups (~1.5-1.7x, Figure 11) well
+/// below the product of the per-stage gains (~2.9x matmul x 2.7x movement
+/// x 4.6x mapping) — and why the small 1-frame nuScenes model runs at only
+/// 45 FPS even on an RTX 3090 (Figure 14).
+pub const HOST_OP_OVERHEAD_US: f64 = 50.0;
+
+impl Context {
+    /// Creates a context for a configuration on a device.
+    pub fn new(config: OptimizationConfig, device: DeviceProfile) -> Context {
+        Context {
+            mem: MemorySim::new(&device),
+            gemm: GemmModel::new(device.clone()),
+            timeline: Timeline::new(),
+            map_cache: HashMap::new(),
+            tuned_groups: HashMap::new(),
+            workloads: Vec::new(),
+            record_workloads: false,
+            simulate_only: false,
+            layer_profiles: Vec::new(),
+            profile_layers: false,
+            config,
+            device,
+        }
+    }
+
+    /// Resets per-run state (timeline, memory simulator, map cache) while
+    /// keeping tuned parameters. Called by [`crate::Engine::run`] so that
+    /// each inference is independent, exactly as maps are rebuilt per scene
+    /// on a real engine.
+    pub fn begin_run(&mut self) {
+        self.timeline = Timeline::new();
+        self.mem = MemorySim::new(&self.device);
+        self.map_cache.clear();
+        self.layer_profiles.clear();
+    }
+
+    /// Snapshots the current timeline; pair with
+    /// [`Context::finish_layer_profile`] around a leaf layer's work.
+    pub fn start_layer_profile(&self) -> Timeline {
+        self.timeline.clone()
+    }
+
+    /// Records the per-stage delta since `start` as `name`'s profile entry
+    /// (no-op unless [`Context::profile_layers`] is on).
+    pub fn finish_layer_profile(&mut self, name: &str, input_points: usize, start: Timeline) {
+        if !self.profile_layers {
+            return;
+        }
+        let mut delta = Timeline::new();
+        for stage in torchsparse_gpusim::Stage::ALL {
+            delta.add(stage, self.timeline.stage(stage) - start.stage(stage));
+        }
+        self.layer_profiles.push(LayerProfile {
+            name: name.to_owned(),
+            input_points,
+            timeline: delta,
+        });
+    }
+
+    /// Looks up a cached map.
+    pub fn cached_map(&self, key: MapKey) -> Option<Arc<CachedMap>> {
+        self.map_cache.get(&key).cloned()
+    }
+
+    /// Stores a map in the cache.
+    pub fn store_map(&mut self, key: MapKey, cached: CachedMap) -> Arc<CachedMap> {
+        let arc = Arc::new(cached);
+        self.map_cache.insert(key, arc.clone());
+        arc
+    }
+
+    /// The tuned `(epsilon, S)` for a layer, if the tuner has produced one.
+    pub fn tuned_for(&self, layer: &str) -> Option<(f64, usize)> {
+        self.tuned_groups.get(layer).copied()
+    }
+
+    /// Charges the fixed host-side framework overhead of one layer op
+    /// ([`HOST_OP_OVERHEAD_US`]) to the `Other` stage. Called by every leaf
+    /// layer's `forward`.
+    pub fn charge_host_op(&mut self) {
+        self.timeline.add(
+            torchsparse_gpusim::Stage::Other,
+            torchsparse_gpusim::Micros(HOST_OP_OVERHEAD_US),
+        );
+    }
+
+    /// Fails if the context's configuration cannot run (currently only a
+    /// placeholder for future validation).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("device", &self.device.name)
+            .field("config", &self.config)
+            .field("timeline", &self.timeline)
+            .field("cached_maps", &self.map_cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchsparse_coords::kernel_map::MapEntry;
+    use torchsparse_gpusim::{Micros, Stage};
+
+    fn ctx() -> Context {
+        Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti())
+    }
+
+    fn dummy_cached() -> CachedMap {
+        let per_offset = {
+            let mut v = vec![Vec::new(); 27];
+            v[13] = vec![MapEntry { input: 0, output: 0 }];
+            v
+        };
+        CachedMap {
+            map: KernelMap::from_parts(3, 1, per_offset, Default::default()).unwrap(),
+            fine_coords: vec![Coord::new(0, 0, 0, 0)],
+            coarse_coords: vec![Coord::new(0, 0, 0, 0)],
+        }
+    }
+
+    #[test]
+    fn map_cache_roundtrip() {
+        let mut c = ctx();
+        let key = MapKey { fine_stride: 1, kernel_size: 3, conv_stride: 1, dilation: 1 };
+        assert!(c.cached_map(key).is_none());
+        c.store_map(key, dummy_cached());
+        assert!(c.cached_map(key).is_some());
+    }
+
+    #[test]
+    fn begin_run_clears_cache_and_timeline() {
+        let mut c = ctx();
+        let key = MapKey { fine_stride: 1, kernel_size: 3, conv_stride: 1, dilation: 1 };
+        c.store_map(key, dummy_cached());
+        c.timeline.add(Stage::MatMul, Micros(5.0));
+        c.begin_run();
+        assert!(c.cached_map(key).is_none());
+        assert_eq!(c.timeline.total(), Micros::ZERO);
+    }
+
+    #[test]
+    fn begin_run_keeps_tuning() {
+        let mut c = ctx();
+        c.tuned_groups.insert("conv1".to_owned(), (0.25, 100_000));
+        c.begin_run();
+        assert_eq!(c.tuned_for("conv1"), Some((0.25, 100_000)));
+        assert_eq!(c.tuned_for("conv2"), None);
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        assert!(!format!("{:?}", ctx()).is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+use crate::config::GroupingStrategy;
+use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
+use crate::dataflow::{
+    apply_storage_precision, run_fetch_on_demand, run_gather_matmul_scatter, ConvWorkload,
+};
+use crate::grouping::plan_groups;
+use crate::mapping::build_layer_mapping_dilated;
+use crate::module::Module;
+use crate::{CoreError, SparseTensor};
+use std::sync::Arc;
+use torchsparse_coords::{offsets, KernelMap};
+use torchsparse_gpusim::Stage;
+use torchsparse_tensor::Matrix;
+
+/// A sparse 3D convolution layer (`torchsparse.nn.Conv3d`).
+///
+/// Three flavors, selected by `stride`/`transposed`:
+///
+/// - **submanifold** (`stride == 1`): outputs at exactly the input sites;
+/// - **strided downsampling** (`stride > 1`): output coordinates computed by
+///   Algorithm 3;
+/// - **transposed/inverse** (`transposed == true`): upsamples back to the
+///   coordinates of the matching downsampling layer by reusing its cached
+///   map with inputs and outputs swapped — no `indice_key` bookkeeping is
+///   required of the user (§4.1).
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::SparseConv3d;
+///
+/// let conv = SparseConv3d::with_random_weights("conv1", 4, 16, 3, 1, 42);
+/// assert_eq!(conv.c_in(), 4);
+/// assert_eq!(conv.c_out(), 16);
+/// assert!(!conv.transposed());
+/// ```
+pub struct SparseConv3d {
+    name: String,
+    c_in: usize,
+    c_out: usize,
+    kernel_size: usize,
+    stride: i32,
+    dilation: i32,
+    transposed: bool,
+    weights: Vec<Matrix>,
+}
+
+/// A tiny deterministic generator for weight initialization (keeps the core
+/// crate free of a `rand` dependency).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SparseConv3d {
+    /// Creates a convolution with explicit per-offset weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadWeightCount`] when `weights.len()` is not
+    /// `kernel_size^3` and [`CoreError::Tensor`] on a shape mismatch.
+    pub fn new(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        kernel_size: usize,
+        stride: i32,
+        transposed: bool,
+        weights: Vec<Matrix>,
+    ) -> Result<SparseConv3d, CoreError> {
+        let volume = offsets::kernel_volume(kernel_size);
+        if weights.len() != volume {
+            return Err(CoreError::BadWeightCount { expected: volume, actual: weights.len() });
+        }
+        for w in &weights {
+            if w.shape() != (c_in, c_out) {
+                return Err(CoreError::Tensor(torchsparse_tensor::TensorError::ShapeMismatch {
+                    op: "conv_weights",
+                    lhs: w.shape(),
+                    rhs: (c_in, c_out),
+                }));
+            }
+        }
+        Ok(SparseConv3d {
+            name: name.into(),
+            c_in,
+            c_out,
+            kernel_size,
+            stride,
+            dilation: 1,
+            transposed,
+            weights,
+        })
+    }
+
+    /// Creates a convolution with Kaiming-style random weights from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size == 0` (a configuration bug, not input data).
+    pub fn with_random_weights(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        kernel_size: usize,
+        stride: i32,
+        seed: u64,
+    ) -> SparseConv3d {
+        assert!(kernel_size > 0, "kernel size must be positive");
+        let volume = offsets::kernel_volume(kernel_size);
+        let fan_in = (c_in * volume) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let mut state = seed;
+        let weights = (0..volume)
+            .map(|_| {
+                Matrix::from_fn(c_in, c_out, |_, _| {
+                    // Uniform in [-scale, scale].
+                    let u = (splitmix64(&mut state) >> 11) as f32 / (1u64 << 53) as f32;
+                    (2.0 * u - 1.0) * scale
+                })
+            })
+            .collect();
+        SparseConv3d::new(name, c_in, c_out, kernel_size, stride, false, weights)
+            .expect("constructed weights are consistent")
+    }
+
+    /// Marks the convolution as transposed (inverse), builder style.
+    #[must_use]
+    pub fn into_transposed(mut self) -> SparseConv3d {
+        self.transposed = true;
+        self
+    }
+
+    /// Sets the dilation factor (builder style). Only stride-1,
+    /// non-transposed convolutions may be dilated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dilation < 1`, or if the layer is strided or transposed.
+    #[must_use]
+    pub fn with_dilation(mut self, dilation: i32) -> SparseConv3d {
+        assert!(dilation >= 1, "dilation must be at least 1");
+        assert!(
+            self.stride == 1 && !self.transposed || dilation == 1,
+            "dilation requires a stride-1 non-transposed convolution"
+        );
+        self.dilation = dilation;
+        self
+    }
+
+    /// The dilation factor.
+    pub fn dilation(&self) -> i32 {
+        self.dilation
+    }
+
+    /// Input channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channels.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Kernel size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> i32 {
+        self.stride
+    }
+
+    /// Whether this is a transposed (inverse) convolution.
+    pub fn transposed(&self) -> bool {
+        self.transposed
+    }
+
+    /// Whether this layer is a stride-1 submanifold convolution with an odd
+    /// kernel (the case with identity center map and mirror symmetry).
+    pub fn is_submanifold(&self) -> bool {
+        self.stride == 1 && !self.transposed && self.kernel_size % 2 == 1
+    }
+
+    /// Stable per-layer tuning key (name).
+    pub fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-offset weights.
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Acquires the kernel map and output coordinates, via the cache when
+    /// possible.
+    fn acquire_map(
+        &self,
+        input: &SparseTensor,
+        ctx: &mut Context,
+    ) -> Result<(Arc<CachedMap>, bool), CoreError> {
+        if self.transposed {
+            let fine_stride = input.stride() / self.stride;
+            let key = MapKey {
+                fine_stride,
+                kernel_size: self.kernel_size,
+                conv_stride: self.stride,
+                dilation: self.dilation,
+            };
+            return ctx
+                .cached_map(key)
+                .map(|m| (m, true))
+                .ok_or(CoreError::MissingCachedMap {
+                    stride: input.stride(),
+                    kernel_size: self.kernel_size,
+                });
+        }
+        let key = MapKey {
+            fine_stride: input.stride(),
+            kernel_size: self.kernel_size,
+            conv_stride: self.stride,
+            dilation: self.dilation,
+        };
+        if let Some(hit) = ctx.cached_map(key) {
+            // Map reuse across layers sharing (stride, kernel): free, as in
+            // real engines' coordinate managers.
+            return Ok((hit, true));
+        }
+        let mapping = build_layer_mapping_dilated(
+            input.coords(),
+            self.kernel_size,
+            self.stride,
+            self.dilation,
+            &ctx.config,
+            &ctx.device,
+        )?;
+        ctx.timeline.add(Stage::Mapping, mapping.latency);
+        let cached = CachedMap {
+            map: mapping.map,
+            fine_coords: input.coords().to_vec(),
+            coarse_coords: mapping.out_coords,
+        };
+        Ok((ctx.store_map(key, cached), false))
+    }
+}
+
+impl std::fmt::Debug for SparseConv3d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseConv3d")
+            .field("name", &self.name)
+            .field("c_in", &self.c_in)
+            .field("c_out", &self.c_out)
+            .field("kernel_size", &self.kernel_size)
+            .field("stride", &self.stride)
+            .field("transposed", &self.transposed)
+            .finish()
+    }
+}
+
+impl Module for SparseConv3d {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        if input.channels() != self.c_in {
+            return Err(CoreError::ChannelMismatch {
+                expected: self.c_in,
+                actual: input.channels(),
+            });
+        }
+        if input.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        let profile_start = ctx.start_layer_profile();
+        ctx.charge_host_op();
+
+        let (cached, _was_hit) = self.acquire_map(input, ctx)?;
+        // For a transposed conv the map is flipped: entries run coarse -> fine.
+        let transposed_map: KernelMap;
+        let (map_ref, out_coords, out_stride) = if self.transposed {
+            transposed_map = cached.map.transposed();
+            (&transposed_map, &cached.fine_coords[..], input.stride() / self.stride)
+        } else if self.stride > 1 {
+            (&cached.map, &cached.coarse_coords[..], input.stride() * self.stride)
+        } else {
+            (&cached.map, &cached.fine_coords[..], input.stride())
+        };
+
+        let submanifold = self.is_submanifold();
+        let center = if submanifold { offsets::center_index(self.kernel_size) } else { None };
+
+        if ctx.record_workloads {
+            ctx.workloads.push(LayerWorkload {
+                name: self.name.clone(),
+                map_sizes: map_ref.sizes(),
+                c_in: self.c_in,
+                c_out: self.c_out,
+                submanifold,
+            });
+        }
+
+        let workload = ConvWorkload {
+            in_feats: input.feats(),
+            weights: &self.weights,
+            map: map_ref,
+            n_out: out_coords.len(),
+            center_identity: center,
+        };
+
+        // Fetch-on-demand when configured and the workload is small.
+        let avg_map = map_ref.total_entries() / map_ref.num_offsets().max(1);
+        let use_fod = ctx.config.fetch_on_demand_below.is_some_and(|t| avg_map < t);
+
+        let out_feats = if use_fod {
+            run_fetch_on_demand(&workload, ctx)?
+        } else {
+            // Grouping strategy, with per-layer tuned parameters if present.
+            let strategy = match (ctx.config.grouping, ctx.tuned_for(&self.name)) {
+                (GroupingStrategy::Adaptive { .. }, Some((epsilon, s_threshold))) => {
+                    GroupingStrategy::Adaptive { epsilon, s_threshold }
+                }
+                (s, _) => s,
+            };
+            let plan = plan_groups(&map_ref.sizes(), submanifold, strategy);
+            run_gather_matmul_scatter(&workload, &plan, ctx)?
+        };
+
+        let out_feats = apply_storage_precision(&out_feats, ctx.config.precision);
+        ctx.finish_layer_profile(&self.name, input.len(), profile_start);
+        SparseTensor::with_stride(out_coords.to_vec(), out_feats, out_stride)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() * self.c_in * self.c_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationConfig;
+    use torchsparse_coords::Coord;
+    use torchsparse_gpusim::DeviceProfile;
+
+    fn ctx() -> Context {
+        Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti())
+    }
+
+    fn input(c: usize) -> SparseTensor {
+        let coords: Vec<Coord> = (0..20)
+            .map(|i| Coord::new(0, i % 5, (i / 5) % 4, i % 3))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let feats = Matrix::from_fn(coords.len(), c, |r, cc| ((r + cc) % 7) as f32 - 3.0);
+        SparseTensor::new(coords, feats).unwrap()
+    }
+
+    #[test]
+    fn weight_count_validated() {
+        let err =
+            SparseConv3d::new("c", 2, 2, 3, 1, false, vec![Matrix::zeros(2, 2); 26]).unwrap_err();
+        assert!(matches!(err, CoreError::BadWeightCount { expected: 27, actual: 26 }));
+    }
+
+    #[test]
+    fn weight_shape_validated() {
+        let err =
+            SparseConv3d::new("c", 2, 2, 1, 1, false, vec![Matrix::zeros(2, 3)]).unwrap_err();
+        assert!(matches!(err, CoreError::Tensor(_)));
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let conv = SparseConv3d::with_random_weights("c", 8, 4, 3, 1, 0);
+        let mut c = ctx();
+        assert!(matches!(
+            conv.forward(&input(4), &mut c),
+            Err(CoreError::ChannelMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn submanifold_preserves_coords_and_stride() {
+        let conv = SparseConv3d::with_random_weights("c", 4, 8, 3, 1, 1);
+        let mut c = ctx();
+        let x = input(4);
+        let y = conv.forward(&x, &mut c).unwrap();
+        assert_eq!(y.coords(), x.coords());
+        assert_eq!(y.stride(), 1);
+        assert_eq!(y.channels(), 8);
+    }
+
+    #[test]
+    fn downsample_coarsens() {
+        let conv = SparseConv3d::with_random_weights("d", 4, 8, 2, 2, 2);
+        let mut c = ctx();
+        let x = input(4);
+        let y = conv.forward(&x, &mut c).unwrap();
+        assert!(y.len() < x.len());
+        assert_eq!(y.stride(), 2);
+    }
+
+    #[test]
+    fn transposed_restores_coords() {
+        let down = SparseConv3d::with_random_weights("d", 4, 8, 2, 2, 3);
+        let up = SparseConv3d::with_random_weights("u", 8, 4, 2, 2, 4).into_transposed();
+        let mut c = ctx();
+        let x = input(4);
+        let mid = down.forward(&x, &mut c).unwrap();
+        let y = up.forward(&mid, &mut c).unwrap();
+        assert_eq!(y.coords(), x.coords());
+        assert_eq!(y.stride(), 1);
+        assert_eq!(y.channels(), 4);
+    }
+
+    #[test]
+    fn transposed_without_cache_fails() {
+        let up = SparseConv3d::with_random_weights("u", 4, 4, 2, 2, 5).into_transposed();
+        let mut c = ctx();
+        let x = SparseTensor::with_stride(
+            input(4).coords().to_vec(),
+            input(4).feats().clone(),
+            2,
+        )
+        .unwrap();
+        assert!(matches!(up.forward(&x, &mut c), Err(CoreError::MissingCachedMap { .. })));
+    }
+
+    #[test]
+    fn map_cache_hit_skips_mapping_cost() {
+        let conv1 = SparseConv3d::with_random_weights("a", 4, 4, 3, 1, 6);
+        let conv2 = SparseConv3d::with_random_weights("b", 4, 4, 3, 1, 7);
+        let mut c = ctx();
+        let x = input(4);
+        let y = conv1.forward(&x, &mut c).unwrap();
+        let after_first = c.timeline.stage(Stage::Mapping);
+        conv2.forward(&y, &mut c).unwrap();
+        let after_second = c.timeline.stage(Stage::Mapping);
+        assert_eq!(after_first, after_second, "second conv must reuse the cached map");
+    }
+
+    #[test]
+    fn outputs_identical_across_engines_fp32() {
+        // All FP32 engine presets compute numerically identical outputs.
+        let conv = SparseConv3d::with_random_weights("c", 4, 6, 3, 1, 8);
+        let x = input(4);
+        let mut reference: Option<Matrix> = None;
+        for cfg in [
+            OptimizationConfig::baseline_fp32(),
+            OptimizationConfig::minkowski_engine(),
+            OptimizationConfig::spconv_fp32(),
+        ] {
+            let mut c = Context::new(cfg, DeviceProfile::rtx_2080ti());
+            let y = conv.forward(&x, &mut c).unwrap();
+            match &reference {
+                None => reference = Some(y.feats().clone()),
+                Some(r) => {
+                    let diff = y.feats().max_abs_diff(r).unwrap();
+                    assert!(diff < 1e-4, "preset output differs by {diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = SparseConv3d::with_random_weights("c", 4, 8, 3, 1, 9);
+        assert_eq!(conv.param_count(), 27 * 4 * 8);
+    }
+
+    #[test]
+    fn dilated_conv_runs_and_differs() {
+        let plain = SparseConv3d::with_random_weights("c", 4, 4, 3, 1, 11);
+        let dilated = SparseConv3d::with_random_weights("c", 4, 4, 3, 1, 11).with_dilation(2);
+        assert_eq!(dilated.dilation(), 2);
+        let x = input(4);
+        let mut c1 = ctx();
+        let mut c2 = ctx();
+        let a = plain.forward(&x, &mut c1).unwrap();
+        let b = dilated.forward(&x, &mut c2).unwrap();
+        assert_eq!(a.coords(), b.coords(), "dilation keeps submanifold coords");
+        assert!(a.feats().max_abs_diff(b.feats()).unwrap() > 1e-6, "different receptive fields");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride-1 non-transposed")]
+    fn dilation_rejected_on_strided_conv() {
+        let _ = SparseConv3d::with_random_weights("c", 4, 4, 2, 2, 0).with_dilation(2);
+    }
+
+    #[test]
+    fn dilation_has_its_own_cache_slot() {
+        let plain = SparseConv3d::with_random_weights("a", 4, 4, 3, 1, 1);
+        let dilated = SparseConv3d::with_random_weights("b", 4, 4, 3, 1, 2).with_dilation(2);
+        let mut c = ctx();
+        let x = input(4);
+        plain.forward(&x, &mut c).unwrap();
+        let after_plain = c.timeline.stage(Stage::Mapping);
+        dilated.forward(&x, &mut c).unwrap();
+        assert!(
+            c.timeline.stage(Stage::Mapping) > after_plain,
+            "dilated conv must build its own map, not reuse the undilated one"
+        );
+    }
+
+    #[test]
+    fn workload_recording() {
+        let conv = SparseConv3d::with_random_weights("c", 4, 4, 3, 1, 10);
+        let mut c = ctx();
+        c.record_workloads = true;
+        conv.forward(&input(4), &mut c).unwrap();
+        assert_eq!(c.workloads.len(), 1);
+        assert_eq!(c.workloads[0].name, "c");
+        assert_eq!(c.workloads[0].map_sizes.len(), 27);
+        assert!(c.workloads[0].submanifold);
+    }
+}

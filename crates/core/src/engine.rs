@@ -1,0 +1,213 @@
+use crate::config::{EnginePreset, OptimizationConfig};
+use crate::context::Context;
+use crate::module::Module;
+use crate::{CoreError, SparseTensor};
+use torchsparse_gpusim::{DeviceProfile, Micros, Timeline};
+
+/// The inference engine: a configuration pinned to a simulated device.
+///
+/// An [`Engine`] owns a [`Context`] and exposes the end-to-end entry point
+/// the paper's evaluation measures: run a model on an input scene and report
+/// per-stage latency.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::{Engine, EnginePreset, ReLU, SparseTensor};
+/// use torchsparse_coords::Coord;
+/// use torchsparse_gpusim::DeviceProfile;
+/// use torchsparse_tensor::Matrix;
+///
+/// # fn main() -> Result<(), torchsparse_core::CoreError> {
+/// let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_3090());
+/// let x = SparseTensor::new(vec![Coord::new(0, 0, 0, 0)], Matrix::filled(1, 2, -1.0))?;
+/// let y = engine.run(&ReLU::new("act"), &x)?;
+/// assert_eq!(y.feats().as_slice(), &[0.0, 0.0]);
+/// assert!(engine.last_latency().as_f64() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine {
+    ctx: Context,
+}
+
+impl Engine {
+    /// Creates an engine from a preset on a device.
+    pub fn new(preset: EnginePreset, device: DeviceProfile) -> Engine {
+        Engine { ctx: Context::new(preset.config(), device) }
+    }
+
+    /// Creates an engine from an explicit configuration.
+    pub fn with_config(config: OptimizationConfig, device: DeviceProfile) -> Engine {
+        Engine { ctx: Context::new(config, device) }
+    }
+
+    /// The execution context (device, config, timeline, tuned parameters).
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Mutable context access (used by the tuner and by ablation drivers
+    /// that flip configuration flags between runs).
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// Runs a model end-to-end on one input scene.
+    ///
+    /// Per-run state (timeline, L2 simulator, map cache) is reset first, so
+    /// consecutive calls are independent measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CoreError`] raised by the model's layers.
+    pub fn run<M: Module + ?Sized>(
+        &mut self,
+        model: &M,
+        input: &SparseTensor,
+    ) -> Result<SparseTensor, CoreError> {
+        self.ctx.begin_run();
+        model.forward(input, &mut self.ctx)
+    }
+
+    /// Per-stage latency of the last [`Engine::run`].
+    pub fn last_timeline(&self) -> &Timeline {
+        &self.ctx.timeline
+    }
+
+    /// Total simulated latency of the last [`Engine::run`].
+    pub fn last_latency(&self) -> Micros {
+        self.ctx.timeline.total()
+    }
+
+    /// Simulated frames per second of the last [`Engine::run`].
+    pub fn last_fps(&self) -> f64 {
+        self.last_latency().fps()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").field("ctx", &self.ctx).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReLU, Sequential, SparseConv3d};
+    use torchsparse_coords::Coord;
+    use torchsparse_tensor::Matrix;
+
+    fn scene() -> SparseTensor {
+        let coords: Vec<Coord> = (0..40)
+            .map(|i| Coord::new(0, i % 8, (i / 8) % 5, (i % 3) - 1))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let n = coords.len();
+        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| ((r * c) % 5) as f32 - 2.0))
+            .unwrap()
+    }
+
+    fn tiny_model() -> Sequential {
+        Sequential::new("net")
+            .push(SparseConv3d::with_random_weights("conv1", 4, 8, 3, 1, 1))
+            .push(ReLU::new("act1"))
+            .push(SparseConv3d::with_random_weights("conv2", 8, 4, 3, 1, 2))
+    }
+
+    #[test]
+    fn run_produces_output_and_latency() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let y = e.run(&tiny_model(), &scene()).unwrap();
+        assert_eq!(y.channels(), 4);
+        assert!(e.last_latency().as_f64() > 0.0);
+        assert!(e.last_fps() > 0.0);
+    }
+
+    #[test]
+    fn consecutive_runs_are_independent() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let model = tiny_model();
+        let x = scene();
+        e.run(&model, &x).unwrap();
+        let first = e.last_latency();
+        e.run(&model, &x).unwrap();
+        let second = e.last_latency();
+        assert_eq!(first, second, "deterministic simulator must repeat exactly");
+    }
+
+    #[test]
+    fn presets_produce_equal_fp32_outputs() {
+        let model = tiny_model();
+        let x = scene();
+        let mut reference: Option<Matrix> = None;
+        for preset in
+            [EnginePreset::BaselineFp32, EnginePreset::MinkowskiEngine, EnginePreset::SpConv]
+        {
+            let mut e = Engine::new(preset, DeviceProfile::rtx_2080ti());
+            let y = e.run(&model, &x).unwrap();
+            match &reference {
+                None => reference = Some(y.feats().clone()),
+                Some(r) => {
+                    assert!(y.feats().max_abs_diff(r).unwrap() < 1e-4, "{preset:?} differs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_only_reports_identical_latency() {
+        let model = tiny_model();
+        let x = scene();
+        let mut full = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        full.run(&model, &x).unwrap();
+        let mut dry = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        dry.context_mut().simulate_only = true;
+        dry.run(&model, &x).unwrap();
+        assert_eq!(full.last_timeline(), dry.last_timeline());
+    }
+
+    #[test]
+    fn layer_profiles_sum_to_total() {
+        let model = tiny_model();
+        let x = scene();
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        e.context_mut().profile_layers = true;
+        e.run(&model, &x).unwrap();
+        let profiles = &e.context().layer_profiles;
+        assert_eq!(profiles.len(), 3, "conv1 + relu + conv2");
+        let sum: f64 = profiles.iter().map(|p| p.timeline.total().as_f64()).sum();
+        let total = e.last_latency().as_f64();
+        assert!(
+            (sum - total).abs() < 1e-6 * total.max(1.0),
+            "profiles sum {sum} != total {total}"
+        );
+        assert_eq!(profiles[0].name, "conv1");
+        assert_eq!(profiles[0].input_points, x.len());
+    }
+
+    #[test]
+    fn profiling_off_records_nothing() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        e.run(&tiny_model(), &scene()).unwrap();
+        assert!(e.context().layer_profiles.is_empty());
+    }
+
+    #[test]
+    fn torchsparse_beats_baseline_on_this_workload() {
+        let model = tiny_model();
+        let x = scene();
+        let mut ts = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let mut base = Engine::new(EnginePreset::BaselineFp32, DeviceProfile::rtx_2080ti());
+        ts.run(&model, &x).unwrap();
+        base.run(&model, &x).unwrap();
+        assert!(
+            ts.last_latency() < base.last_latency(),
+            "TorchSparse {} should beat baseline {}",
+            ts.last_latency(),
+            base.last_latency()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+use torchsparse_coords::CoordsError;
+use torchsparse_tensor::TensorError;
+
+/// Error type for the sparse convolution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A coordinate/mapping operation failed.
+    Coords(CoordsError),
+    /// Coordinates and features disagree in length.
+    LengthMismatch {
+        /// Number of coordinates.
+        coords: usize,
+        /// Number of feature rows.
+        feats: usize,
+    },
+    /// A layer received input with the wrong channel count.
+    ChannelMismatch {
+        /// The layer's expected input channels.
+        expected: usize,
+        /// The input's channel count.
+        actual: usize,
+    },
+    /// A transposed convolution could not find the cached map of its
+    /// matching downsampling layer.
+    MissingCachedMap {
+        /// The tensor stride the transposed layer ran at.
+        stride: i32,
+        /// Kernel size of the layer.
+        kernel_size: usize,
+    },
+    /// The layer's weight list does not match `kernel_size^3`.
+    BadWeightCount {
+        /// Expected number of per-offset weight matrices.
+        expected: usize,
+        /// Provided number.
+        actual: usize,
+    },
+    /// An empty input tensor where computation requires points.
+    EmptyInput,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Coords(e) => write!(f, "coords error: {e}"),
+            CoreError::LengthMismatch { coords, feats } => {
+                write!(f, "{coords} coordinates but {feats} feature rows")
+            }
+            CoreError::ChannelMismatch { expected, actual } => {
+                write!(f, "layer expects {expected} input channels, got {actual}")
+            }
+            CoreError::MissingCachedMap { stride, kernel_size } => write!(
+                f,
+                "no cached downsample map for transposed conv (stride {stride}, kernel {kernel_size})"
+            ),
+            CoreError::BadWeightCount { expected, actual } => {
+                write!(f, "expected {expected} weight matrices, got {actual}")
+            }
+            CoreError::EmptyInput => write!(f, "input tensor has no points"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Coords(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> CoreError {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<CoordsError> for CoreError {
+    fn from(e: CoordsError) -> CoreError {
+        CoreError::Coords(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let variants: Vec<CoreError> = vec![
+            CoreError::Tensor(TensorError::BatchMismatch { lhs: 1, rhs: 2 }),
+            CoreError::Coords(CoordsError::ZeroStride),
+            CoreError::LengthMismatch { coords: 1, feats: 2 },
+            CoreError::ChannelMismatch { expected: 4, actual: 8 },
+            CoreError::MissingCachedMap { stride: 2, kernel_size: 2 },
+            CoreError::BadWeightCount { expected: 27, actual: 26 },
+            CoreError::EmptyInput,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = CoreError::from(TensorError::BatchMismatch { lhs: 1, rhs: 2 });
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyInput.source().is_none());
+    }
+}

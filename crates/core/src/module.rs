@@ -1,0 +1,148 @@
+use crate::context::Context;
+use crate::{CoreError, SparseTensor};
+
+/// A sparse neural network layer or block, in the PyTorch-like style of the
+/// TorchSparse Python API (§4.1).
+///
+/// Implementations execute their computation on the CPU and record
+/// simulated GPU cost into the [`Context`].
+pub trait Module {
+    /// Runs the module on an input tensor.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError`] on shape/channel mismatches or
+    /// mapping failures.
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError>;
+
+    /// A human-readable name for diagnostics and tuning keys.
+    fn name(&self) -> &str;
+
+    /// Number of learnable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// A sequential container, equivalent to `nn.Sequential`.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::{Module, ReLU, Sequential};
+///
+/// let block = Sequential::new("head")
+///     .push(ReLU::new("act1"))
+///     .push(ReLU::new("act2"));
+/// assert_eq!(block.len(), 2);
+/// assert_eq!(block.name(), "head");
+/// ```
+pub struct Sequential {
+    name: String,
+    modules: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new(name: impl Into<String>) -> Sequential {
+        Sequential { name: name.into(), modules: Vec::new() }
+    }
+
+    /// Appends a module (builder style).
+    #[must_use]
+    pub fn push(mut self, module: impl Module + 'static) -> Sequential {
+        self.modules.push(Box::new(module));
+        self
+    }
+
+    /// Appends a boxed module in place.
+    pub fn push_boxed(&mut self, module: Box<dyn Module>) {
+        self.modules.push(module);
+    }
+
+    /// Number of contained modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The contained modules.
+    pub fn modules(&self) -> &[Box<dyn Module>] {
+        &self.modules
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        let mut x = input.clone();
+        for m in &self.modules {
+            x = m.forward(&x, ctx)?;
+        }
+        Ok(x)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.modules.iter().map(|m| m.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationConfig;
+    use torchsparse_coords::Coord;
+    use torchsparse_gpusim::DeviceProfile;
+    use torchsparse_tensor::Matrix;
+
+    struct AddOne(String);
+
+    impl Module for AddOne {
+        fn forward(
+            &self,
+            input: &SparseTensor,
+            _ctx: &mut Context,
+        ) -> Result<SparseTensor, CoreError> {
+            let mut feats = input.feats().clone();
+            feats.map_inplace(|v| v + 1.0);
+            input.with_feats(feats)
+        }
+
+        fn name(&self) -> &str {
+            &self.0
+        }
+
+        fn param_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn sequential_chains_in_order() {
+        let seq = Sequential::new("s").push(AddOne("a".into())).push(AddOne("b".into()));
+        let x = SparseTensor::new(vec![Coord::new(0, 0, 0, 0)], Matrix::zeros(1, 2)).unwrap();
+        let mut ctx =
+            Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
+        let y = seq.forward(&x, &mut ctx).unwrap();
+        assert_eq!(y.feats().as_slice(), &[2.0, 2.0]);
+        assert_eq!(seq.param_count(), 2);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let seq = Sequential::new("empty");
+        assert!(seq.is_empty());
+        let x = SparseTensor::new(vec![Coord::new(0, 0, 0, 0)], Matrix::filled(1, 1, 3.0)).unwrap();
+        let mut ctx =
+            Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
+        let y = seq.forward(&x, &mut ctx).unwrap();
+        assert_eq!(y, x);
+    }
+}

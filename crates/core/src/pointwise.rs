@@ -1,0 +1,256 @@
+//! Pointwise layers: batch normalization, ReLU, and global pooling.
+//!
+//! These are memory-bound streaming kernels. They never touch coordinates
+//! or maps, so their simulated cost is a single read+write sweep over the
+//! feature buffer, charged to [`Stage::Other`] — which is how they appear
+//! in the paper's Figure 4 breakdown.
+
+use crate::context::Context;
+use crate::dataflow::apply_storage_precision;
+use crate::module::Module;
+use crate::{CoreError, SparseTensor};
+use torchsparse_gpusim::{AccessMode, ElemWidth, Stage};
+use torchsparse_tensor::Matrix;
+
+fn feature_mode(ctx: &Context) -> AccessMode {
+    let elem = match ctx.config.precision {
+        crate::config::Precision::Fp32 => ElemWidth::F32,
+        crate::config::Precision::Fp16 => ElemWidth::F16,
+        crate::config::Precision::Int8 => ElemWidth::I8,
+    };
+    let vector_width = if ctx.config.vectorized { (4 / elem.bytes()).max(1) } else { 1 };
+    AccessMode { elem, vector_width }
+}
+
+/// Charges one streaming read+write sweep over an `n x c` feature buffer,
+/// plus the host-side overhead of dispatching the op.
+fn charge_pointwise(n: usize, c: usize, ctx: &mut Context) {
+    ctx.charge_host_op();
+    let mode = feature_mode(ctx);
+    let bytes = (n * c) as u64 * mode.elem.bytes();
+    let base = ctx.mem.alloc(bytes);
+    ctx.mem.read(base, 0, bytes, mode);
+    ctx.mem.write(base, 0, bytes, mode);
+    let report = ctx.mem.take_report();
+    let latency = report.latency(&ctx.device)
+        + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
+    ctx.timeline.add(Stage::Other, latency);
+}
+
+/// Inference-mode batch normalization, folded to per-channel scale + shift.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::BatchNorm;
+///
+/// let bn = BatchNorm::identity("bn1", 16);
+/// assert_eq!(bn.channels(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    name: String,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a batch norm with explicit per-channel scale and shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` and `shift` lengths differ.
+    pub fn new(name: impl Into<String>, scale: Vec<f32>, shift: Vec<f32>) -> BatchNorm {
+        assert_eq!(scale.len(), shift.len(), "scale/shift length mismatch");
+        BatchNorm { name: name.into(), scale, shift }
+    }
+
+    /// An identity normalization (scale 1, shift 0) over `channels`.
+    pub fn identity(name: impl Into<String>, channels: usize) -> BatchNorm {
+        BatchNorm::new(name, vec![1.0; channels], vec![0.0; channels])
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.scale.len()
+    }
+}
+
+impl Module for BatchNorm {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        if input.channels() != self.channels() {
+            return Err(CoreError::ChannelMismatch {
+                expected: self.channels(),
+                actual: input.channels(),
+            });
+        }
+        let profile_start = ctx.start_layer_profile();
+        let mut feats = input.feats().clone();
+        for r in 0..feats.rows() {
+            let row = feats.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = *v * self.scale[c] + self.shift[c];
+            }
+        }
+        let feats = apply_storage_precision(&feats, ctx.config.precision);
+        charge_pointwise(input.len(), input.channels(), ctx);
+        ctx.finish_layer_profile(&self.name, input.len(), profile_start);
+        input.with_feats(feats)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels()
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReLU {
+    name: String,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> ReLU {
+        ReLU { name: name.into() }
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        let profile_start = ctx.start_layer_profile();
+        let mut feats = input.feats().clone();
+        feats.map_inplace(|v| v.max(0.0));
+        charge_pointwise(input.len(), input.channels(), ctx);
+        ctx.finish_layer_profile(&self.name, input.len(), profile_start);
+        input.with_feats(feats)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Global average pooling over each batch (scene): produces one point per
+/// batch at the origin, holding the mean feature vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalPool {
+    name: String,
+}
+
+impl GlobalPool {
+    /// Creates a global average pooling layer.
+    pub fn new(name: impl Into<String>) -> GlobalPool {
+        GlobalPool { name: name.into() }
+    }
+}
+
+impl Module for GlobalPool {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        if input.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        let mut batches: Vec<i32> = input.coords().iter().map(|c| c.batch).collect();
+        batches.sort_unstable();
+        batches.dedup();
+        let c = input.channels();
+        let mut sums = vec![vec![0.0f32; c]; batches.len()];
+        let mut counts = vec![0usize; batches.len()];
+        for (i, coord) in input.coords().iter().enumerate() {
+            let b = batches.binary_search(&coord.batch).expect("batch present");
+            counts[b] += 1;
+            for (s, v) in sums[b].iter_mut().zip(input.feats().row(i)) {
+                *s += v;
+            }
+        }
+        let coords: Vec<_> = batches
+            .iter()
+            .map(|&b| torchsparse_coords::Coord::new(b, 0, 0, 0))
+            .collect();
+        let feats = Matrix::from_fn(batches.len(), c, |r, col| sums[r][col] / counts[r] as f32);
+        charge_pointwise(input.len(), c, ctx);
+        SparseTensor::with_stride(coords, feats, input.stride())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationConfig;
+    use torchsparse_coords::Coord;
+    use torchsparse_gpusim::DeviceProfile;
+
+    fn ctx() -> Context {
+        Context::new(OptimizationConfig::baseline_fp32(), DeviceProfile::rtx_2080ti())
+    }
+
+    fn tensor() -> SparseTensor {
+        SparseTensor::new(
+            vec![Coord::new(0, 0, 0, 0), Coord::new(0, 1, 0, 0), Coord::new(1, 0, 0, 0)],
+            Matrix::from_vec(3, 2, vec![1.0, -2.0, 3.0, -4.0, 5.0, 6.0]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut c = ctx();
+        let y = ReLU::new("r").forward(&tensor(), &mut c).unwrap();
+        assert_eq!(y.feats().as_slice(), &[1.0, 0.0, 3.0, 0.0, 5.0, 6.0]);
+        assert!(c.timeline.stage(Stage::Other).as_f64() > 0.0);
+    }
+
+    #[test]
+    fn batchnorm_applies_affine() {
+        let mut c = ctx();
+        let bn = BatchNorm::new("bn", vec![2.0, 0.5], vec![1.0, 0.0]);
+        let y = bn.forward(&tensor(), &mut c).unwrap();
+        assert_eq!(y.feats().row(0), &[3.0, -1.0]);
+        assert_eq!(bn.param_count(), 4);
+    }
+
+    #[test]
+    fn batchnorm_rejects_wrong_channels() {
+        let mut c = ctx();
+        let bn = BatchNorm::identity("bn", 5);
+        assert!(matches!(
+            bn.forward(&tensor(), &mut c),
+            Err(CoreError::ChannelMismatch { expected: 5, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn global_pool_means_per_batch() {
+        let mut c = ctx();
+        let y = GlobalPool::new("gp").forward(&tensor(), &mut c).unwrap();
+        assert_eq!(y.len(), 2); // two batches
+        assert_eq!(y.feats().row(0), &[2.0, -3.0]); // mean of batch 0
+        assert_eq!(y.feats().row(1), &[5.0, 6.0]); // single point of batch 1
+    }
+
+    #[test]
+    fn global_pool_rejects_empty() {
+        let mut c = ctx();
+        let empty = SparseTensor::new(vec![], Matrix::zeros(0, 2)).unwrap();
+        assert!(matches!(
+            GlobalPool::new("gp").forward(&empty, &mut c),
+            Err(CoreError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn identity_bn_preserves_values_fp32() {
+        let mut c = ctx();
+        let bn = BatchNorm::identity("bn", 2);
+        let y = bn.forward(&tensor(), &mut c).unwrap();
+        assert_eq!(y.feats(), tensor().feats());
+    }
+}

@@ -1,0 +1,312 @@
+//! Sparse spatial pooling.
+//!
+//! `torchsparse.nn` ships kernel-based max pooling alongside convolution;
+//! detection heads and classification backbones use it to coarsen feature
+//! maps without weights. Pooling reuses the exact mapping machinery of
+//! convolution (output coordinate calculation + kernel map search + map
+//! caching) and performs a per-channel max-reduction instead of GEMM.
+
+use crate::context::{CachedMap, Context, MapKey};
+use crate::config::Precision;
+use crate::mapping::build_layer_mapping;
+use crate::module::Module;
+use crate::{CoreError, SparseTensor};
+use torchsparse_gpusim::{AccessMode, ElemWidth, Stage};
+use torchsparse_tensor::Matrix;
+
+/// Reduction applied over a pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolReduction {
+    /// Per-channel maximum.
+    Max,
+    /// Per-channel mean over the contributing inputs.
+    Mean,
+}
+
+/// Kernel-based sparse pooling (max or mean).
+///
+/// For every output site, reduces over the input sites its kernel window
+/// covers. With `stride == 1` the output keeps the input's coordinates
+/// (submanifold pooling); with `stride > 1` the output coordinates follow
+/// Algorithm 3, exactly like a strided convolution.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::SparseMaxPool3d;
+///
+/// let pool = SparseMaxPool3d::new("pool1", 2, 2);
+/// assert_eq!(pool.kernel_size(), 2);
+/// assert_eq!(pool.stride(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseMaxPool3d {
+    name: String,
+    kernel_size: usize,
+    stride: i32,
+    reduction: PoolReduction,
+}
+
+impl SparseMaxPool3d {
+    /// Creates a max pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size == 0` or `stride < 1` (configuration bugs).
+    pub fn new(name: impl Into<String>, kernel_size: usize, stride: i32) -> SparseMaxPool3d {
+        assert!(kernel_size > 0, "kernel size must be positive");
+        assert!(stride >= 1, "stride must be at least 1");
+        SparseMaxPool3d {
+            name: name.into(),
+            kernel_size,
+            stride,
+            reduction: PoolReduction::Max,
+        }
+    }
+
+    /// Creates an average pooling layer with the same window semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_size == 0` or `stride < 1`.
+    pub fn mean(name: impl Into<String>, kernel_size: usize, stride: i32) -> SparseMaxPool3d {
+        let mut p = Self::new(name, kernel_size, stride);
+        p.reduction = PoolReduction::Mean;
+        p
+    }
+
+    /// Kernel size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel_size
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> i32 {
+        self.stride
+    }
+
+    /// The reduction this layer applies.
+    pub fn reduction(&self) -> PoolReduction {
+        self.reduction
+    }
+}
+
+impl Module for SparseMaxPool3d {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        if input.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        ctx.charge_host_op();
+
+        // Mapping, via the shared cache (pooling and convolution with the
+        // same (stride, kernel) share one map, as in real engines).
+        let key = MapKey {
+            fine_stride: input.stride(),
+            kernel_size: self.kernel_size,
+            conv_stride: self.stride,
+            dilation: 1,
+        };
+        let cached = match ctx.cached_map(key) {
+            Some(hit) => hit,
+            None => {
+                let mapping = build_layer_mapping(
+                    input.coords(),
+                    self.kernel_size,
+                    self.stride,
+                    &ctx.config,
+                    &ctx.device,
+                )?;
+                ctx.timeline.add(Stage::Mapping, mapping.latency);
+                ctx.store_map(
+                    key,
+                    CachedMap {
+                        map: mapping.map,
+                        fine_coords: input.coords().to_vec(),
+                        coarse_coords: mapping.out_coords,
+                    },
+                )
+            }
+        };
+        let out_coords = if self.stride == 1 { &cached.fine_coords } else { &cached.coarse_coords };
+        let out_stride =
+            if self.stride == 1 { input.stride() } else { input.stride() * self.stride };
+
+        let c = input.channels();
+        let init = match self.reduction {
+            PoolReduction::Max => f32::NEG_INFINITY,
+            PoolReduction::Mean => 0.0,
+        };
+        let mut out = Matrix::filled(out_coords.len(), c, init);
+        let mut counts = vec![0u32; out_coords.len()];
+        if !ctx.simulate_only {
+            for n in 0..cached.map.num_offsets() {
+                for e in cached.map.entries(n) {
+                    counts[e.output as usize] += 1;
+                    let src = input.feats().row(e.input as usize);
+                    let dst = out.row_mut(e.output as usize);
+                    match self.reduction {
+                        PoolReduction::Max => {
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                if s > *d {
+                                    *d = s;
+                                }
+                            }
+                        }
+                        PoolReduction::Mean => {
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+            }
+            for (i, &n) in counts.iter().enumerate() {
+                if n == 0 {
+                    // Outputs with no contributing input (Algorithm 3
+                    // precludes this) stay zero.
+                    out.row_mut(i).fill(0.0);
+                } else if self.reduction == PoolReduction::Mean {
+                    let inv = 1.0 / n as f32;
+                    for v in out.row_mut(i) {
+                        *v *= inv;
+                    }
+                }
+            }
+        } else {
+            out = Matrix::zeros(out_coords.len(), c);
+        }
+
+        // Cost: one read per map entry, one write per output row.
+        let elem = match ctx.config.precision {
+            Precision::Fp32 => ElemWidth::F32,
+            _ => ElemWidth::F16,
+        };
+        let width = if ctx.config.vectorized { (4 / elem.bytes()).max(1) } else { 1 };
+        let mode = AccessMode { elem, vector_width: width };
+        let row_bytes = c as u64 * elem.bytes();
+        let in_base = ctx.mem.alloc(input.len() as u64 * row_bytes);
+        let out_base = ctx.mem.alloc(out_coords.len() as u64 * row_bytes);
+        for n in 0..cached.map.num_offsets() {
+            for e in cached.map.entries(n) {
+                ctx.mem.read(in_base, e.input as u64 * row_bytes, row_bytes, mode);
+            }
+        }
+        for k in 0..out_coords.len() {
+            ctx.mem.write(out_base, k as u64 * row_bytes, row_bytes, mode);
+        }
+        let report = ctx.mem.take_report();
+        ctx.timeline.add(Stage::Other, report.latency(&ctx.device));
+
+        SparseTensor::with_stride(out_coords.clone(), out, out_stride)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationConfig;
+    use torchsparse_coords::Coord;
+    use torchsparse_gpusim::DeviceProfile;
+
+    fn ctx() -> Context {
+        Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti())
+    }
+
+    fn line_tensor() -> SparseTensor {
+        let coords: Vec<Coord> = (0..6).map(|i| Coord::new(0, i, 0, 0)).collect();
+        let feats = Matrix::from_fn(6, 2, |r, c| (r as f32) * if c == 0 { 1.0 } else { -1.0 });
+        SparseTensor::new(coords, feats).unwrap()
+    }
+
+    #[test]
+    fn submanifold_max_pool_takes_neighborhood_max() {
+        let pool = SparseMaxPool3d::new("p", 3, 1);
+        let mut c = ctx();
+        let y = pool.forward(&line_tensor(), &mut c).unwrap();
+        assert_eq!(y.coords(), line_tensor().coords());
+        // Point x=2 sees x in {1,2,3}: channel0 max = 3, channel1 max = -1.
+        assert_eq!(y.feats().row(2), &[3.0, -1.0]);
+        // Endpoint x=5 sees {4,5}: max 5 / -4.
+        assert_eq!(y.feats().row(5), &[5.0, -4.0]);
+    }
+
+    #[test]
+    fn strided_pool_downsamples() {
+        let pool = SparseMaxPool3d::new("p", 2, 2);
+        let mut c = ctx();
+        let y = pool.forward(&line_tensor(), &mut c).unwrap();
+        assert_eq!(y.len(), 3);
+        assert_eq!(y.stride(), 2);
+        // Output site 0 covers inputs {0, 1}: max 1.0 on channel 0.
+        assert_eq!(y.feats()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn pool_shares_map_with_conv() {
+        use crate::SparseConv3d;
+        let conv = SparseConv3d::with_random_weights("c", 2, 2, 3, 1, 1);
+        let pool = SparseMaxPool3d::new("p", 3, 1);
+        let mut c = ctx();
+        let x = line_tensor();
+        conv.forward(&x, &mut c).unwrap();
+        let mapping_after_conv = c.timeline.stage(Stage::Mapping);
+        pool.forward(&x, &mut c).unwrap();
+        assert_eq!(
+            c.timeline.stage(Stage::Mapping),
+            mapping_after_conv,
+            "pool must reuse the conv's cached map"
+        );
+    }
+
+    #[test]
+    fn pool_rejects_empty() {
+        let pool = SparseMaxPool3d::new("p", 2, 2);
+        let empty = SparseTensor::new(vec![], Matrix::zeros(0, 2)).unwrap();
+        assert!(matches!(pool.forward(&empty, &mut ctx()), Err(CoreError::EmptyInput)));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be at least 1")]
+    fn pool_rejects_zero_stride() {
+        SparseMaxPool3d::new("p", 2, 0);
+    }
+
+    #[test]
+    fn mean_pool_averages_window() {
+        let pool = SparseMaxPool3d::mean("p", 3, 1);
+        assert_eq!(pool.reduction(), PoolReduction::Mean);
+        let mut c = ctx();
+        let y = pool.forward(&line_tensor(), &mut c).unwrap();
+        // Point x=2 sees x in {1,2,3}: mean of 1,2,3 = 2 on channel 0.
+        assert_eq!(y.feats().row(2), &[2.0, -2.0]);
+        // Endpoint x=0 sees {0,1}: mean 0.5 / -0.5.
+        assert_eq!(y.feats().row(0), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn mean_pool_matches_max_on_constant_field() {
+        let x = line_tensor().with_feats(Matrix::filled(6, 2, 4.0)).unwrap();
+        let mut c1 = ctx();
+        let mut c2 = ctx();
+        let a = SparseMaxPool3d::new("m", 3, 1).forward(&x, &mut c1).unwrap();
+        let b = SparseMaxPool3d::mean("a", 3, 1).forward(&x, &mut c2).unwrap();
+        assert_eq!(a.feats(), b.feats());
+    }
+
+    #[test]
+    fn simulate_only_keeps_shape_and_cost() {
+        let pool = SparseMaxPool3d::new("p", 2, 2);
+        let mut full = ctx();
+        let mut dry = ctx();
+        dry.simulate_only = true;
+        let x = line_tensor();
+        let a = pool.forward(&x, &mut full).unwrap();
+        let b = pool.forward(&x, &mut dry).unwrap();
+        assert_eq!(a.coords(), b.coords());
+        assert_eq!(full.timeline.total(), dry.timeline.total());
+    }
+}

@@ -1,0 +1,235 @@
+//! Adaptive group search — Algorithm 5 of the paper (§4.2.3, Appendix B).
+//!
+//! For every convolution layer, the tuner grid-searches the redundancy
+//! tolerance `epsilon` and the mm/bmm threshold `S` over a calibration set
+//! of scenes (the paper uses ~100 training samples and <1000 configurations,
+//! inference-only). The cost function is the simulated matmul latency of the
+//! layer's grouped plan under the engine's device model — the exact
+//! counterpart of the paper's wall-clock measurement loop.
+//!
+//! The search runs once per (model, dataset, device) triple; the selected
+//! per-layer `(epsilon, S)` are stored in the engine context and picked up
+//! by [`crate::SparseConv3d::forward`] on subsequent runs. Because the
+//! grouping algorithm itself is input-adaptive, the same `(epsilon, S)`
+//! yields different partitions for different scenes (§4.2.3).
+
+use crate::config::{GroupingStrategy, Precision};
+use crate::context::LayerWorkload;
+use crate::engine::Engine;
+use crate::grouping::plan_groups;
+use crate::module::Module;
+use crate::{CoreError, SparseTensor};
+use std::collections::HashMap;
+use torchsparse_gpusim::{GemmModel, GemmShape, Micros};
+use torchsparse_gpusim::Precision as GemmPrecision;
+
+/// The grid searched by [`tune_engine`] when none is supplied: 10 epsilon
+/// values x 8 thresholds = 80 configurations per layer (the paper's space
+/// is "usually < 1000").
+pub fn default_search_space() -> (Vec<f64>, Vec<usize>) {
+    let epsilons = vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0];
+    let thresholds = vec![
+        0,
+        10_000,
+        30_000,
+        60_000,
+        120_000,
+        250_000,
+        500_000,
+        usize::MAX,
+    ];
+    (epsilons, thresholds)
+}
+
+/// Simulated matmul latency of one layer workload under a grouping strategy.
+///
+/// This is the tuner's cost function `f` (Algorithm 5): the sum of the
+/// grouped GEMM latencies, padding included.
+pub fn grouped_matmul_latency(
+    workload: &LayerWorkload,
+    strategy: GroupingStrategy,
+    gemm: &GemmModel,
+    precision: Precision,
+) -> Micros {
+    let gp = match precision {
+        Precision::Fp32 => GemmPrecision::Fp32,
+        _ => GemmPrecision::Fp16,
+    };
+    let plan = plan_groups(&workload.map_sizes, workload.submanifold, strategy);
+    let mut total = Micros::ZERO;
+    for g in &plan.groups {
+        if g.use_bmm {
+            total += gemm.latency(
+                GemmShape::bmm(g.offsets.len(), g.padded_rows, workload.c_in, workload.c_out),
+                gp,
+            );
+        } else {
+            for &n in &g.offsets {
+                let rows = workload.map_sizes[n];
+                if rows > 0 {
+                    total += gemm.latency(GemmShape::mm(rows, workload.c_in, workload.c_out), gp);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Result of tuning one engine for one model on a calibration set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningReport {
+    /// Layer name -> selected `(epsilon, S)`.
+    pub selected: HashMap<String, (f64, usize)>,
+    /// Number of calibration scenes profiled.
+    pub samples: usize,
+    /// Number of `(epsilon, S)` configurations evaluated per layer.
+    pub configs_searched: usize,
+}
+
+/// Runs Algorithm 5: profiles the model on `samples`, grid-searches
+/// `(epsilon, S)` per layer, and installs the winners into the engine's
+/// context.
+///
+/// # Errors
+///
+/// Propagates model execution errors from the profiling runs.
+pub fn tune_engine<M: Module + ?Sized>(
+    engine: &mut Engine,
+    model: &M,
+    samples: &[SparseTensor],
+    space: Option<(Vec<f64>, Vec<usize>)>,
+) -> Result<TuningReport, CoreError> {
+    let (epsilons, thresholds) = space.unwrap_or_else(default_search_space);
+    let configs_searched = epsilons.len() * thresholds.len();
+
+    // Profile: collect per-layer workloads across the calibration scenes.
+    let mut per_layer: HashMap<String, Vec<LayerWorkload>> = HashMap::new();
+    for sample in samples {
+        engine.context_mut().record_workloads = true;
+        engine.context_mut().workloads.clear();
+        engine.run(model, sample)?;
+        engine.context_mut().record_workloads = false;
+        let workloads = std::mem::take(&mut engine.context_mut().workloads);
+        for w in workloads {
+            per_layer.entry(w.name.clone()).or_default().push(w);
+        }
+    }
+
+    // Grid search per layer (Algorithm 5's double loop).
+    let gemm = engine.context().gemm.clone();
+    let precision = engine.context().config.precision;
+    let mut selected = HashMap::new();
+    for (layer, workloads) in &per_layer {
+        let mut best: Option<(f64, usize, f64)> = None;
+        for &epsilon in &epsilons {
+            for &s in &thresholds {
+                let strategy = GroupingStrategy::Adaptive { epsilon, s_threshold: s };
+                let cost: f64 = workloads
+                    .iter()
+                    .map(|w| grouped_matmul_latency(w, strategy, &gemm, precision).as_f64())
+                    .sum();
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((epsilon, s, cost));
+                }
+            }
+        }
+        if let Some((epsilon, s, _)) = best {
+            selected.insert(layer.clone(), (epsilon, s));
+        }
+    }
+
+    engine.context_mut().tuned_groups = selected.clone();
+    Ok(TuningReport { selected, samples: samples.len(), configs_searched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnginePreset;
+    use crate::{Sequential, SparseConv3d};
+    use torchsparse_coords::Coord;
+    use torchsparse_gpusim::DeviceProfile;
+    use torchsparse_tensor::Matrix;
+
+    fn scene(seed: i32) -> SparseTensor {
+        let coords: Vec<Coord> = (0..60)
+            .map(|i| Coord::new(0, (i * 7 + seed) % 10, (i * 3) % 9, (i * 5 + seed) % 8))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let n = coords.len();
+        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| ((r + c) % 3) as f32)).unwrap()
+    }
+
+    fn model() -> Sequential {
+        Sequential::new("m")
+            .push(SparseConv3d::with_random_weights("c1", 4, 8, 3, 1, 1))
+            .push(SparseConv3d::with_random_weights("c2", 8, 4, 3, 1, 2))
+    }
+
+    #[test]
+    fn tuner_selects_parameters_for_every_conv() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let samples = vec![scene(0), scene(1)];
+        let report = tune_engine(&mut e, &model(), &samples, None).unwrap();
+        assert!(report.selected.contains_key("c1"));
+        assert!(report.selected.contains_key("c2"));
+        assert_eq!(report.samples, 2);
+        assert_eq!(report.configs_searched, 80);
+        // Installed into the context.
+        assert!(e.context().tuned_for("c1").is_some());
+    }
+
+    #[test]
+    fn tuned_cost_never_worse_than_corners() {
+        // The selected config must be at least as good as the degenerate
+        // corners of the space (separate / symmetric / dense).
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let samples = vec![scene(3)];
+        tune_engine(&mut e, &model(), &samples, None).unwrap();
+
+        // Re-profile to get the workloads.
+        e.context_mut().record_workloads = true;
+        e.run(&model(), &samples[0]).unwrap();
+        let workloads = std::mem::take(&mut e.context_mut().workloads);
+        let gemm = e.context().gemm.clone();
+        for w in &workloads {
+            let (eps, s) = e.context().tuned_for(&w.name).unwrap();
+            let tuned = grouped_matmul_latency(
+                w,
+                GroupingStrategy::Adaptive { epsilon: eps, s_threshold: s },
+                &gemm,
+                Precision::Fp16,
+            );
+            for corner in [
+                GroupingStrategy::Adaptive { epsilon: 0.0, s_threshold: usize::MAX },
+                GroupingStrategy::Adaptive { epsilon: 1.0, s_threshold: 0 },
+                GroupingStrategy::Adaptive { epsilon: 1.0, s_threshold: usize::MAX },
+            ] {
+                let c = grouped_matmul_latency(w, corner, &gemm, Precision::Fp16);
+                assert!(
+                    tuned.as_f64() <= c.as_f64() + 1e-9,
+                    "layer {} tuned {} worse than corner {:?} {}",
+                    w.name,
+                    tuned,
+                    corner,
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_search_space_respected() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let report = tune_engine(
+            &mut e,
+            &model(),
+            &[scene(0)],
+            Some((vec![0.5], vec![1000])),
+        )
+        .unwrap();
+        assert_eq!(report.configs_searched, 1);
+        assert_eq!(report.selected["c1"], (0.5, 1000));
+    }
+}

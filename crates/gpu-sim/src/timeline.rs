@@ -1,0 +1,172 @@
+use crate::Micros;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Execution stage of a sparse CNN, matching the paper's Figure 4 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Map search, output coordinate calculation, table construction.
+    Mapping,
+    /// Gathering input features into contiguous buffers.
+    Gather,
+    /// Matrix multiplication.
+    MatMul,
+    /// Scatter-accumulating partial sums into output features.
+    Scatter,
+    /// Everything else (normalization, activation, heads, NMS...).
+    Other,
+}
+
+impl Stage {
+    /// All stages in display order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Mapping, Stage::Gather, Stage::MatMul, Stage::Scatter, Stage::Other];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Mapping => "mapping",
+            Stage::Gather => "gather",
+            Stage::MatMul => "matmul",
+            Stage::Scatter => "scatter",
+            Stage::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A per-stage latency ledger for one inference run.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_gpusim::{Micros, Stage, Timeline};
+///
+/// let mut t = Timeline::new();
+/// t.add(Stage::Gather, Micros(120.0));
+/// t.add(Stage::MatMul, Micros(80.0));
+/// assert_eq!(t.total(), Micros(200.0));
+/// assert!((t.fraction(Stage::Gather) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    stages: [f64; 5],
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    fn slot(stage: Stage) -> usize {
+        Stage::ALL.iter().position(|&s| s == stage).expect("stage in ALL")
+    }
+
+    /// Adds latency to a stage.
+    pub fn add(&mut self, stage: Stage, latency: Micros) {
+        self.stages[Self::slot(stage)] += latency.as_f64();
+    }
+
+    /// Latency accumulated in a stage.
+    pub fn stage(&self, stage: Stage) -> Micros {
+        Micros(self.stages[Self::slot(stage)])
+    }
+
+    /// Total latency across stages.
+    pub fn total(&self) -> Micros {
+        Micros(self.stages.iter().sum())
+    }
+
+    /// A stage's fraction of the total (0 when the timeline is empty).
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        let total = self.total().as_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stage(stage).as_f64() / total
+        }
+    }
+
+    /// Data movement = gather + scatter (the paper's combined category).
+    pub fn data_movement(&self) -> Micros {
+        self.stage(Stage::Gather) + self.stage(Stage::Scatter)
+    }
+
+    /// Accumulates another timeline into this one.
+    pub fn merge(&mut self, other: &Timeline) {
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        write!(f, "total {total}")?;
+        for stage in Stage::ALL {
+            let us = self.stage(stage);
+            if us.as_f64() > 0.0 {
+                write!(f, " | {} {} ({:.0}%)", stage, us, 100.0 * self.fraction(stage))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut t = Timeline::new();
+        t.add(Stage::Mapping, Micros(10.0));
+        t.add(Stage::Mapping, Micros(5.0));
+        t.add(Stage::Other, Micros(85.0));
+        assert_eq!(t.stage(Stage::Mapping), Micros(15.0));
+        assert_eq!(t.total(), Micros(100.0));
+        assert!((t.fraction(Stage::Mapping) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(Timeline::new().fraction(Stage::MatMul), 0.0);
+    }
+
+    #[test]
+    fn data_movement_combines_gather_scatter() {
+        let mut t = Timeline::new();
+        t.add(Stage::Gather, Micros(30.0));
+        t.add(Stage::Scatter, Micros(12.0));
+        t.add(Stage::MatMul, Micros(100.0));
+        assert_eq!(t.data_movement(), Micros(42.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Timeline::new();
+        a.add(Stage::Gather, Micros(1.0));
+        let mut b = Timeline::new();
+        b.add(Stage::Gather, Micros(2.0));
+        b.add(Stage::MatMul, Micros(3.0));
+        a.merge(&b);
+        assert_eq!(a.stage(Stage::Gather), Micros(3.0));
+        assert_eq!(a.stage(Stage::MatMul), Micros(3.0));
+    }
+
+    #[test]
+    fn display_contains_stages() {
+        let mut t = Timeline::new();
+        t.add(Stage::MatMul, Micros(50.0));
+        let s = t.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("100%"));
+    }
+}

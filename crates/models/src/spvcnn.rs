@@ -1,0 +1,456 @@
+//! SPVCNN (Tang et al., ECCV 2020): sparse point-voxel convolution.
+//!
+//! The TorchSparse paper's motivating workloads include SPVNAS/SPVCNN — the
+//! authors' architecture that pairs a **voxel branch** (a sparse UNet over
+//! voxelized features, exactly the workload TorchSparse accelerates) with a
+//! high-resolution **point branch** (per-point MLPs), fusing them through
+//! *voxelization* (scatter-mean of point features into voxels) and
+//! *trilinear devoxelization* (interpolating voxel features back onto the
+//! points). This module implements that point-voxel mechanic on top of the
+//! engine:
+//!
+//! - [`PointScene`]: continuous point positions + features;
+//! - [`voxelize_features`]: scatter-mean onto an existing voxel coordinate
+//!   system;
+//! - [`devoxelize_trilinear`]: interpolation from the 8 surrounding voxels;
+//! - [`Spvcnn`]: stem MLP → voxel UNet ‖ point MLP → fused classifier.
+
+use crate::minkunet::MinkUNet;
+use std::collections::HashMap;
+use torchsparse_core::{Context, CoreError, Module, SparseTensor};
+use torchsparse_coords::Coord;
+use torchsparse_gpusim::{AccessMode, GemmShape, Stage};
+use torchsparse_gpusim::Precision as GemmPrecision;
+use torchsparse_tensor::{gemm, Matrix};
+
+/// A point cloud with continuous positions and per-point features — the
+/// high-resolution side of the point-voxel representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointScene {
+    /// Point positions in meters.
+    pub positions: Vec<[f32; 3]>,
+    /// Per-point features (`len x channels`).
+    pub feats: Matrix,
+}
+
+impl PointScene {
+    /// Creates a scene, validating lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] when positions and feature rows
+    /// disagree.
+    pub fn new(positions: Vec<[f32; 3]>, feats: Matrix) -> Result<PointScene, CoreError> {
+        if positions.len() != feats.rows() {
+            return Err(CoreError::LengthMismatch {
+                coords: positions.len(),
+                feats: feats.rows(),
+            });
+        }
+        Ok(PointScene { positions, feats })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The voxel coordinate each point falls into at `voxel_size`.
+    pub fn voxel_coords(&self, voxel_size: f32) -> Vec<Coord> {
+        self.positions
+            .iter()
+            .map(|p| {
+                Coord::new(
+                    0,
+                    (p[0] / voxel_size).floor() as i32,
+                    (p[1] / voxel_size).floor() as i32,
+                    (p[2] / voxel_size).floor() as i32,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Scatter-means point features into a voxel tensor at `voxel_size`.
+///
+/// Returns the voxel tensor and, for each point, the index of its voxel —
+/// the "point-to-voxel" map reused by devoxelization and fusion.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyInput`] for an empty scene.
+pub fn voxelize_features(
+    scene: &PointScene,
+    voxel_size: f32,
+    ctx: &mut Context,
+) -> Result<(SparseTensor, Vec<u32>), CoreError> {
+    if scene.is_empty() {
+        return Err(CoreError::EmptyInput);
+    }
+    let per_point = scene.voxel_coords(voxel_size);
+    let mut order: Vec<Coord> = per_point.clone();
+    order.sort_unstable();
+    order.dedup();
+    let index: HashMap<Coord, u32> =
+        order.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+
+    let c = scene.feats.cols();
+    let mut sums = Matrix::zeros(order.len(), c);
+    let mut counts = vec![0u32; order.len()];
+    let mut point_to_voxel = Vec::with_capacity(scene.len());
+    for (i, coord) in per_point.iter().enumerate() {
+        let v = index[coord];
+        point_to_voxel.push(v);
+        counts[v as usize] += 1;
+        let dst = sums.row_mut(v as usize);
+        for (d, &s) in dst.iter_mut().zip(scene.feats.row(i)) {
+            *d += s;
+        }
+    }
+    for (i, &n) in counts.iter().enumerate() {
+        let inv = 1.0 / n as f32;
+        for v in sums.row_mut(i) {
+            *v *= inv;
+        }
+    }
+
+    // Cost: stream the point features in, scatter-accumulate into voxels.
+    charge_pv_transfer(scene.len(), order.len(), c, ctx);
+    Ok((SparseTensor::new(order, sums)?, point_to_voxel))
+}
+
+/// Trilinearly interpolates voxel features back onto points.
+///
+/// Each point reads the (up to) 8 voxels whose centers surround it; missing
+/// voxels contribute zero with their weight dropped and the remaining
+/// weights renormalized — the convention of the SPVCNN reference code.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyInput`] for an empty scene.
+pub fn devoxelize_trilinear(
+    scene: &PointScene,
+    voxels: &SparseTensor,
+    voxel_size: f32,
+    ctx: &mut Context,
+) -> Result<Matrix, CoreError> {
+    if scene.is_empty() {
+        return Err(CoreError::EmptyInput);
+    }
+    let index: HashMap<Coord, usize> =
+        voxels.coords().iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let c = voxels.channels();
+    let mut out = Matrix::zeros(scene.len(), c);
+
+    for (i, p) in scene.positions.iter().enumerate() {
+        // Position in voxel units, relative to voxel centers.
+        let u = [
+            p[0] / voxel_size - 0.5,
+            p[1] / voxel_size - 0.5,
+            p[2] / voxel_size - 0.5,
+        ];
+        let base = [u[0].floor(), u[1].floor(), u[2].floor()];
+        let frac = [u[0] - base[0], u[1] - base[1], u[2] - base[2]];
+        let mut total_w = 0.0f32;
+        let mut acc = vec![0.0f32; c];
+        for dx in 0..2 {
+            for dy in 0..2 {
+                for dz in 0..2 {
+                    let w = (if dx == 0 { 1.0 - frac[0] } else { frac[0] })
+                        * (if dy == 0 { 1.0 - frac[1] } else { frac[1] })
+                        * (if dz == 0 { 1.0 - frac[2] } else { frac[2] });
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let coord = Coord::new(
+                        0,
+                        base[0] as i32 + dx,
+                        base[1] as i32 + dy,
+                        base[2] as i32 + dz,
+                    );
+                    if let Some(&v) = index.get(&coord) {
+                        total_w += w;
+                        for (a, &f) in acc.iter_mut().zip(voxels.feats().row(v)) {
+                            *a += w * f;
+                        }
+                    }
+                }
+            }
+        }
+        if total_w > 0.0 {
+            let inv = 1.0 / total_w;
+            for (dst, a) in out.row_mut(i).iter_mut().zip(&acc) {
+                *dst = a * inv;
+            }
+        }
+    }
+
+    // Cost: each point gathers up to 8 voxel rows (random) + writes one row.
+    charge_pv_transfer(8 * scene.len(), scene.len(), c, ctx);
+    Ok(out)
+}
+
+/// Charges the memory traffic of a point<->voxel transfer: `reads` random
+/// row reads and `writes` row writes of `channels`-wide features.
+fn charge_pv_transfer(reads: usize, writes: usize, channels: usize, ctx: &mut Context) {
+    ctx.charge_host_op();
+    let mode = AccessMode::scalar_f32();
+    let row = (channels * 4) as u64;
+    let src = ctx.mem.alloc(reads as u64 * row);
+    let dst = ctx.mem.alloc(writes as u64 * row);
+    for i in 0..reads {
+        ctx.mem.read(src, i as u64 * row, row, mode);
+    }
+    for i in 0..writes {
+        ctx.mem.write(dst, i as u64 * row, row, mode);
+    }
+    let report = ctx.mem.take_report();
+    let latency = report.latency(&ctx.device)
+        + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
+    ctx.timeline.add(Stage::Other, latency);
+}
+
+/// A per-point MLP layer (linear + ReLU), the point branch's building block.
+#[derive(Debug)]
+pub struct PointMlp {
+    name: String,
+    weight: Matrix,
+}
+
+impl PointMlp {
+    /// Creates an MLP layer with deterministic pseudo-random weights.
+    pub fn new(name: impl Into<String>, c_in: usize, c_out: usize, seed: u64) -> PointMlp {
+        let scale = (2.0 / c_in as f32).sqrt();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let weight = Matrix::from_fn(c_in, c_out, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (((state >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 1.0) * scale
+        });
+        PointMlp { name: name.into(), weight }
+    }
+
+    /// Applies `relu(x . W)` with simulated GEMM cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tensor`] on a channel mismatch.
+    pub fn forward(&self, x: &Matrix, ctx: &mut Context) -> Result<Matrix, CoreError> {
+        ctx.charge_host_op();
+        let mut y = gemm::mm(x, &self.weight)?;
+        y.map_inplace(|v| v.max(0.0));
+        let shape = GemmShape::mm(x.rows(), self.weight.rows(), self.weight.cols());
+        ctx.timeline.add(Stage::MatMul, ctx.gemm.latency(shape, GemmPrecision::Fp16));
+        let _ = &self.name;
+        Ok(y)
+    }
+}
+
+/// SPVCNN: a voxel-branch MinkUNet fused with a high-resolution point
+/// branch through voxelization / trilinear devoxelization.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_models::Spvcnn;
+///
+/// let net = Spvcnn::new(0.25, 4, 8, 0.1, 42);
+/// assert_eq!(net.num_classes(), 8);
+/// ```
+pub struct Spvcnn {
+    point_stem: PointMlp,
+    point_branch: PointMlp,
+    voxel_branch: MinkUNet,
+    classifier: PointMlp,
+    hidden: usize,
+    num_classes: usize,
+    voxel_size: f32,
+}
+
+impl Spvcnn {
+    /// Builds an SPVCNN with the given voxel-branch width multiplier, input
+    /// channels, class count, voxel size, and weight seed.
+    pub fn new(
+        width: f64,
+        in_channels: usize,
+        num_classes: usize,
+        voxel_size: f32,
+        seed: u64,
+    ) -> Spvcnn {
+        let hidden = ((32.0 * width).round() as usize).max(4);
+        Spvcnn {
+            point_stem: PointMlp::new("point_stem", in_channels, hidden, seed),
+            point_branch: PointMlp::new("point_branch", hidden, hidden, seed ^ 1),
+            // The voxel branch predicts `hidden` features, not classes.
+            voxel_branch: MinkUNet::with_width(width, hidden, hidden, seed ^ 2),
+            classifier: PointMlp::new("classifier", hidden, num_classes, seed ^ 3),
+            hidden,
+            num_classes,
+            voxel_size,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Hidden feature width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the network: per-point class scores (`len x num_classes`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; [`CoreError::EmptyInput`] on empty scenes.
+    pub fn forward(&self, scene: &PointScene, ctx: &mut Context) -> Result<Matrix, CoreError> {
+        if scene.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        // Shared stem on points.
+        let stem = self.point_stem.forward(&scene.feats, ctx)?;
+        let stem_scene = PointScene::new(scene.positions.clone(), stem.clone())?;
+
+        // Voxel branch: voxelize -> sparse UNet -> devoxelize.
+        let (voxels, _p2v) = voxelize_features(&stem_scene, self.voxel_size, ctx)?;
+        let voxel_out = self.voxel_branch.forward(&voxels, ctx)?;
+        let voxel_feats =
+            devoxelize_trilinear(&stem_scene, &voxel_out, self.voxel_size, ctx)?;
+
+        // Point branch: MLP at full resolution.
+        let point_feats = self.point_branch.forward(&stem, ctx)?;
+
+        // Fuse (add) and classify.
+        let fused = &voxel_feats + &point_feats;
+        self.classifier.forward(&fused, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchsparse_core::{EnginePreset, OptimizationConfig};
+    use torchsparse_gpusim::DeviceProfile;
+
+    fn ctx() -> Context {
+        Context::new(EnginePreset::TorchSparse.config(), DeviceProfile::rtx_2080ti())
+    }
+
+    fn fp32_ctx() -> Context {
+        let mut cfg: OptimizationConfig = EnginePreset::TorchSparse.config();
+        cfg.precision = torchsparse_core::Precision::Fp32;
+        Context::new(cfg, DeviceProfile::rtx_2080ti())
+    }
+
+    fn scene(n: usize) -> PointScene {
+        let positions: Vec<[f32; 3]> = (0..n)
+            .map(|i| {
+                let f = i as f32;
+                [(f * 0.37) % 3.0, (f * 0.73) % 2.5, (f * 0.11) % 1.5]
+            })
+            .collect();
+        let feats = Matrix::from_fn(n, 4, |r, c| ((r * 5 + c * 3) % 11) as f32 * 0.2);
+        PointScene::new(positions, feats).unwrap()
+    }
+
+    #[test]
+    fn point_scene_validation() {
+        assert!(PointScene::new(vec![[0.0; 3]], Matrix::zeros(2, 4)).is_err());
+        assert!(PointScene::new(vec![[0.0; 3]; 2], Matrix::zeros(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn voxelize_means_points_in_same_cell() {
+        let s = PointScene::new(
+            vec![[0.01, 0.01, 0.01], [0.05, 0.05, 0.05], [0.55, 0.0, 0.0]],
+            Matrix::from_vec(3, 1, vec![1.0, 3.0, 7.0]).unwrap(),
+        )
+        .unwrap();
+        let mut c = ctx();
+        let (voxels, p2v) = voxelize_features(&s, 0.1, &mut c).unwrap();
+        assert_eq!(voxels.len(), 2);
+        assert_eq!(p2v[0], p2v[1]);
+        assert_ne!(p2v[0], p2v[2]);
+        // Mean of 1.0 and 3.0.
+        let merged = voxels.coords().iter().position(|co| co.x == 0).unwrap();
+        assert_eq!(voxels.feats()[(merged, 0)], 2.0);
+    }
+
+    #[test]
+    fn devoxelize_constant_field_is_constant() {
+        // Trilinear interpolation of a constant voxel field returns the
+        // constant exactly (weights renormalize over present voxels).
+        let s = scene(40);
+        let mut c = ctx();
+        let (voxels, _) = voxelize_features(&s, 0.25, &mut c).unwrap();
+        let constant = voxels.with_feats(Matrix::filled(voxels.len(), 4, 3.5)).unwrap();
+        let out = devoxelize_trilinear(&s, &constant, 0.25, &mut c).unwrap();
+        for i in 0..s.len() {
+            for ch in 0..4 {
+                assert!(
+                    (out[(i, ch)] - 3.5).abs() < 1e-5,
+                    "point {i} channel {ch}: {}",
+                    out[(i, ch)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn devoxelize_point_at_voxel_center_copies_feature() {
+        // A point exactly at a voxel center has weight 1 on that voxel.
+        let s = PointScene::new(vec![[0.05, 0.05, 0.05]], Matrix::filled(1, 2, 1.0)).unwrap();
+        let mut c = ctx();
+        let (voxels, _) = voxelize_features(&s, 0.1, &mut c).unwrap();
+        let painted = voxels
+            .with_feats(Matrix::from_vec(1, 2, vec![4.0, -2.0]).unwrap())
+            .unwrap();
+        let out = devoxelize_trilinear(&s, &painted, 0.1, &mut c).unwrap();
+        assert_eq!(out.row(0), &[4.0, -2.0]);
+    }
+
+    #[test]
+    fn spvcnn_forward_shapes_and_determinism() {
+        let net = Spvcnn::new(0.25, 4, 7, 0.2, 5);
+        let s = scene(120);
+        let mut c1 = fp32_ctx();
+        let out1 = net.forward(&s, &mut c1).unwrap();
+        assert_eq!(out1.shape(), (120, 7));
+        assert!(c1.timeline.total().as_f64() > 0.0);
+        let mut c2 = fp32_ctx();
+        let out2 = net.forward(&s, &mut c2).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn spvcnn_point_branch_contributes() {
+        // Zeroing the point features must change the output (the point
+        // branch is live, not dead code).
+        let net = Spvcnn::new(0.25, 4, 5, 0.2, 6);
+        let s = scene(80);
+        let zeroed = PointScene::new(s.positions.clone(), Matrix::zeros(80, 4)).unwrap();
+        let mut c1 = fp32_ctx();
+        let mut c2 = fp32_ctx();
+        let a = net.forward(&s, &mut c1).unwrap();
+        let b = net.forward(&zeroed, &mut c2).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn spvcnn_rejects_empty() {
+        let net = Spvcnn::new(0.25, 4, 5, 0.2, 7);
+        let empty = PointScene::new(vec![], Matrix::zeros(0, 4)).unwrap();
+        assert!(matches!(
+            net.forward(&empty, &mut ctx()),
+            Err(CoreError::EmptyInput)
+        ));
+    }
+}

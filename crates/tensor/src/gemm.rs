@@ -1,0 +1,304 @@
+//! Blocked, multi-threaded single-precision matrix multiplication.
+//!
+//! Sparse convolution lowers to many GEMMs of shape `|map| x Cin x Cout`
+//! (Algorithm 2 of the paper). This module provides:
+//!
+//! - [`mm`]: `C = A * B` with cache-blocked loops, parallelized across row
+//!   panels with `crossbeam::scope` (no unsafe, no global thread pool).
+//! - [`mm_accumulate`]: `C += A * B`, the scatter-accumulate-friendly variant.
+//! - [`bmm`]: batched GEMM over equal-shaped matrices, mirroring cuBLAS
+//!   `gemmStridedBatched` as used by the paper's grouped matmul (§4.2).
+//!
+//! All variants produce bitwise-identical results to the naive triple loop
+//! (same accumulation order within each output element), which the tests
+//! verify — determinism matters because the sparse engine's property tests
+//! compare dataflows for exact equality.
+
+use crate::{Matrix, TensorError};
+
+/// Row-panel size for parallel partitioning.
+const PANEL: usize = 64;
+/// Cache block size along the reduction (k) dimension.
+const KBLOCK: usize = 256;
+
+/// Computes `A * B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `A.cols() != B.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_tensor::{Matrix, gemm};
+///
+/// # fn main() -> Result<(), torchsparse_tensor::TensorError> {
+/// let a = Matrix::filled(2, 3, 1.0);
+/// let b = Matrix::filled(3, 4, 2.0);
+/// let c = gemm::mm(&a, &b)?;
+/// assert_eq!(c[(1, 2)], 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mm(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    mm_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Computes `C += A * B` into an existing accumulator.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the inner dimensions disagree
+/// or `C` has the wrong shape.
+pub fn mm_accumulate(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
+    mm_into(a, b, c)
+}
+
+fn mm_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: b.shape() });
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(TensorError::ShapeMismatch { op: "mm_out", lhs: c.shape(), rhs: (a.rows(), b.cols()) });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+
+    // Partition C into row panels; each panel is an independent task.
+    let panels: Vec<(usize, &mut [f32])> = c_data
+        .chunks_mut(PANEL * n)
+        .enumerate()
+        .map(|(i, chunk)| (i * PANEL, chunk))
+        .collect();
+
+    let work = |row0: usize, c_panel: &mut [f32]| {
+        let rows_here = c_panel.len() / n;
+        for kb in (0..k).step_by(KBLOCK) {
+            let k_end = (kb + KBLOCK).min(k);
+            for r in 0..rows_here {
+                let a_row = &a_data[(row0 + r) * k..(row0 + r) * k + k];
+                let c_row = &mut c_panel[r * n..(r + 1) * n];
+                for kk in kb..k_end {
+                    let aval = a_row[kk];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    };
+
+    // Only spawn threads when the work is large enough to amortize them.
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    if flops < 2e6 || panels.len() == 1 {
+        for (row0, panel) in panels {
+            work(row0, panel);
+        }
+    } else {
+        crossbeam::scope(|s| {
+            for (row0, panel) in panels {
+                s.spawn(move |_| work(row0, panel));
+            }
+        })
+        .expect("gemm worker panicked");
+    }
+    Ok(())
+}
+
+/// Batched matrix multiplication: `C[i] = A[i] * B[i]` for every `i`.
+///
+/// All `A[i]` must share one shape and all `B[i]` another (the cuBLAS
+/// strided-batched contract). The paper's grouped matmul pads per-weight
+/// feature buffers to a common row count and then calls `bmm` (Figure 6c/d,
+/// Algorithm 4).
+///
+/// # Errors
+///
+/// Returns [`TensorError::BatchMismatch`] if the batch lengths differ and
+/// [`TensorError::ShapeMismatch`] if any matrix deviates from its batch shape
+/// or the inner dimensions disagree.
+pub fn bmm(a: &[Matrix], b: &[Matrix]) -> Result<Vec<Matrix>, TensorError> {
+    if a.len() != b.len() {
+        return Err(TensorError::BatchMismatch { lhs: a.len(), rhs: b.len() });
+    }
+    if a.is_empty() {
+        return Ok(Vec::new());
+    }
+    let a_shape = a[0].shape();
+    let b_shape = b[0].shape();
+    for m in a {
+        if m.shape() != a_shape {
+            return Err(TensorError::ShapeMismatch { op: "bmm_lhs", lhs: a_shape, rhs: m.shape() });
+        }
+    }
+    for m in b {
+        if m.shape() != b_shape {
+            return Err(TensorError::ShapeMismatch { op: "bmm_rhs", lhs: b_shape, rhs: m.shape() });
+        }
+    }
+    a.iter().zip(b).map(|(x, w)| mm(x, w)).collect()
+}
+
+/// Naive reference GEMM (triple loop) used by tests as the ground truth.
+pub fn mm_reference(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: b.shape() });
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for kk in 0..a.cols() {
+            let av = a[(i, kk)];
+            for j in 0..b.cols() {
+                c[(i, j)] += av * b[(kk, j)];
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(&mut rng, 7, 7);
+        assert_eq!(mm(&a, &Matrix::eye(7)).unwrap(), a);
+        assert_eq!(mm(&Matrix::eye(7), &a).unwrap(), a);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matches!(mm(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_dims_ok() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(mm(&a, &b).unwrap().shape(), (0, 2));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        assert_eq!(mm(&a, &b).unwrap(), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn matches_reference_on_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 33, 9), (130, 64, 48), (65, 300, 7)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let fast = mm(&a, &b).unwrap();
+            let slow = mm_reference(&a, &b).unwrap();
+            let diff = fast.max_abs_diff(&slow).unwrap();
+            assert!(diff < 1e-4, "({m},{k},{n}) diff {diff}");
+        }
+    }
+
+    #[test]
+    fn large_parallel_path_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 200, 128);
+        let b = random_matrix(&mut rng, 128, 96);
+        let fast = mm(&a, &b).unwrap();
+        let slow = mm_reference(&a, &b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::eye(2);
+        let mut c = Matrix::filled(2, 2, 10.0);
+        mm_accumulate(&a, &b, &mut c).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 11.0, 11.0, 11.0]);
+    }
+
+    #[test]
+    fn accumulate_rejects_bad_out_shape() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(mm_accumulate(&a, &b, &mut c).is_err());
+    }
+
+    #[test]
+    fn bmm_matches_sequential_mm() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<Matrix> = (0..5).map(|_| random_matrix(&mut rng, 12, 8)).collect();
+        let b: Vec<Matrix> = (0..5).map(|_| random_matrix(&mut rng, 8, 6)).collect();
+        let batched = bmm(&a, &b).unwrap();
+        for i in 0..5 {
+            assert_eq!(batched[i], mm(&a[i], &b[i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn bmm_rejects_batch_mismatch() {
+        let a = vec![Matrix::zeros(2, 2)];
+        let b = vec![Matrix::zeros(2, 2), Matrix::zeros(2, 2)];
+        assert!(matches!(bmm(&a, &b), Err(TensorError::BatchMismatch { .. })));
+    }
+
+    #[test]
+    fn bmm_rejects_ragged_shapes() {
+        let a = vec![Matrix::zeros(2, 2), Matrix::zeros(3, 2)];
+        let b = vec![Matrix::zeros(2, 2), Matrix::zeros(2, 2)];
+        assert!(matches!(bmm(&a, &b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn bmm_empty_batch() {
+        assert!(bmm(&[], &[]).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mm_matches_reference(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let fast = mm(&a, &b).unwrap();
+            let slow = mm_reference(&a, &b).unwrap();
+            prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+        }
+
+        #[test]
+        fn prop_mm_distributes_over_addition(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, m, k);
+            let b1 = random_matrix(&mut rng, k, n);
+            let b2 = random_matrix(&mut rng, k, n);
+            let lhs = mm(&a, &(&b1 + &b2)).unwrap();
+            let rhs = &mm(&a, &b1).unwrap() + &mm(&a, &b2).unwrap();
+            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense linear-algebra substrate for the TorchSparse reproduction.
+//!
+//! The TorchSparse paper (MLSys 2022) builds sparse convolution out of dense
+//! primitives: matrix multiplication (`mm`), batched matrix multiplication
+//! (`bmm`), and half-precision feature storage. On the authors' testbed these
+//! are provided by cuBLAS/cuDNN; here we provide portable, well-tested CPU
+//! implementations with identical semantics:
+//!
+//! - [`Matrix`]: a row-major `f32` matrix with the shape/indexing conventions
+//!   of a feature buffer (`rows` = points, `cols` = channels).
+//! - [`gemm`]: blocked, multi-threaded single-precision GEMM, plus a batched
+//!   variant that mirrors cuBLAS `gemmStridedBatched` (used by the paper's
+//!   grouped matmul, §4.2).
+//! - [`Half`]: software IEEE-754 binary16 with round-to-nearest-even, used to
+//!   reproduce the FP16 quantization study (§4.3.1, Table 3).
+//! - [`quant`]: FP16/INT8 feature quantization helpers.
+//! - [`dense`]: a dense volumetric 3D convolution used **only** as a
+//!   correctness oracle for the sparse engine's property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use torchsparse_tensor::{Matrix, gemm};
+//!
+//! # fn main() -> Result<(), torchsparse_tensor::TensorError> {
+//! let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::eye(3);
+//! let c = gemm::mm(&a, &b)?;
+//! assert_eq!(c, a);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod half;
+mod matrix;
+
+pub mod dense;
+pub mod gemm;
+pub mod quant;
+
+pub use error::TensorError;
+pub use half::Half;
+pub use matrix::Matrix;

@@ -1,0 +1,448 @@
+use crate::TensorError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A row-major `f32` matrix.
+///
+/// Used throughout the engine as the feature buffer representation: `rows`
+/// index points (or map entries) and `cols` index channels. The layout
+/// mirrors the contiguous feature tensors that GPU sparse-conv engines gather
+/// into before GEMM.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+/// assert_eq!(m[(0, 1)], 1.0);
+/// assert_eq!(m.row(1), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates an `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::DataLengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a channel slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the transpose.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Returns a new matrix with the given rows stacked vertically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts differ.
+    pub fn vstack(blocks: &[&Matrix]) -> Result<Matrix, TensorError> {
+        if blocks.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = blocks[0].cols;
+        for b in blocks {
+            if b.cols != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "vstack",
+                    lhs: (blocks[0].rows, cols),
+                    rhs: b.shape(),
+                });
+            }
+        }
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Zero-pads (or truncates) the matrix to `new_rows` rows.
+    ///
+    /// Used by fixed/adaptive grouping to pad per-weight feature buffers to a
+    /// common batch row count before `bmm` (paper Figure 6c/d).
+    pub fn resized_rows(&self, new_rows: usize) -> Matrix {
+        let mut m = Matrix::zeros(new_rows, self.cols);
+        let n = self.rows.min(new_rows);
+        m.data[..n * self.cols].copy_from_slice(&self.data[..n * self.cols]);
+        m
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f32, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add requires equal shapes");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub requires equal shapes");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    /// Element-wise accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign requires equal shapes");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * rhs).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            let cs = self.cols.min(8);
+            for c in 0..cs {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < cs {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let m = Matrix::eye(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        let e = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(e, TensorError::DataLengthMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_access() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(m.row(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        Matrix::zeros(2, 2).row(2);
+    }
+
+    #[test]
+    fn get_checked() {
+        let m = Matrix::eye(2);
+        assert_eq!(m.get(1, 1), Some(1.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let s = Matrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(0), &[1.0, 1.0]);
+        assert_eq!(s.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn vstack_rejects_mismatched_cols() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(Matrix::vstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn vstack_empty_is_empty() {
+        assert_eq!(Matrix::vstack(&[]).unwrap().shape(), (0, 0));
+    }
+
+    #[test]
+    fn resized_rows_pads_with_zeros() {
+        let m = Matrix::filled(2, 3, 5.0);
+        let p = m.resized_rows(4);
+        assert_eq!(p.shape(), (4, 3));
+        assert_eq!(p.row(1), &[5.0, 5.0, 5.0]);
+        assert_eq!(p.row(3), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn resized_rows_truncates() {
+        let m = Matrix::from_fn(3, 1, |r, _| r as f32);
+        let t = m.resized_rows(2);
+        assert_eq!(t.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert_eq!((&a + &b).as_slice(), &[4.0; 4]);
+        assert_eq!((&a - &b).as_slice(), &[2.0; 4]);
+        assert_eq!((&a * 2.0).as_slice(), &[6.0; 4]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_norm() {
+        let a = Matrix::filled(1, 2, 3.0);
+        let b = Matrix::from_vec(1, 2, vec![3.5, 2.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+        assert!((Matrix::eye(2).frobenius_norm() - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_abs_diff_shape_checked() {
+        assert!(Matrix::zeros(1, 2).max_abs_diff(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Matrix::eye(2)).is_empty());
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut m = Matrix::filled(1, 3, -1.0);
+        m.map_inplace(|v| v.max(0.0));
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # TorchSparse (Rust reproduction)
+//!
+//! An efficient point cloud inference engine — a from-scratch Rust
+//! reproduction of *TorchSparse: Efficient Point Cloud Inference Engine*
+//! (Tang, Liu, Li, Lin, Han — MLSys 2022).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! - [`tensor`]: dense linear algebra (matrices, blocked GEMM, software FP16,
+//!   quantization, dense conv oracle).
+//! - [`coords`]: coordinate management (hashing, grid tables, output
+//!   coordinate calculation, kernel map search).
+//! - [`gpusim`]: trace-driven GPU cost simulator (DRAM transactions, L2
+//!   cache, GEMM utilization, device profiles).
+//! - [`data`]: synthetic LiDAR datasets mimicking SemanticKITTI / nuScenes /
+//!   Waymo statistics.
+//! - [`core`]: the sparse convolution engine — sparse tensors, dataflows,
+//!   adaptive grouping, mapping optimizations, engine presets.
+//! - [`models`]: MinkUNet and CenterPoint sparse model zoo.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use torchsparse::core::{Engine, EnginePreset};
+//! use torchsparse::data::{LidarConfig, voxelize_scan};
+//! use torchsparse::gpusim::DeviceProfile;
+//! use torchsparse::models::MinkUNet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small synthetic LiDAR scan and voxelize it.
+//! let scan = LidarConfig::semantic_kitti().scaled(0.02).generate(42);
+//! let input = voxelize_scan(&scan, 0.05, 4)?;
+//!
+//! // Build a tiny MinkUNet and run it through the optimized engine.
+//! let model = MinkUNet::with_width(0.1, 4, 8, 7);
+//! let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_3090());
+//! let output = engine.run(&model, &input)?;
+//! assert_eq!(output.len(), input.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+
+pub use torchsparse_coords as coords;
+pub use torchsparse_core as core;
+pub use torchsparse_data as data;
+pub use torchsparse_gpusim as gpusim;
+pub use torchsparse_models as models;
+pub use torchsparse_tensor as tensor;

@@ -1,0 +1,23 @@
+//! Convenience re-exports: `use torchsparse::prelude::*;` brings in the
+//! types needed for typical inference workflows.
+
+pub use torchsparse_core::{
+    BatchNorm, Context, Engine, EnginePreset, GroupingStrategy, MapSearchStrategy, Module,
+    OptimizationConfig, Precision, ReLU, Sequential, SparseConv3d, SparseMaxPool3d, SparseTensor,
+};
+pub use torchsparse_coords::Coord;
+pub use torchsparse_data::{collate, voxelize_scan, LidarConfig, SyntheticDataset};
+pub use torchsparse_gpusim::{DeviceProfile, Micros, Stage, Timeline};
+pub use torchsparse_models::{CenterPoint, MinkUNet, Spvcnn};
+pub use torchsparse_tensor::Matrix;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_core_types() {
+        use super::*;
+        let _engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_3090());
+        let _coord = Coord::new(0, 1, 2, 3);
+        let _m = Matrix::eye(2);
+    }
+}
