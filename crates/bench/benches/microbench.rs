@@ -1,5 +1,5 @@
-//! Criterion microbenchmarks of the engine's real CPU kernels: coordinate
-//! tables, map search, downsampling pipelines, and GEMM.
+//! Microbenchmarks of the engine's real CPU kernels: coordinate tables, map
+//! search, downsampling pipelines, and GEMM.
 //!
 //! These measure the *actual* Rust implementations (not the GPU cost
 //! model), so they answer a different question than the `fig*`/`table*`
@@ -7,9 +7,13 @@
 //! demonstrate that the optimized code paths (grid tables, symmetric
 //! search, fused downsampling) are faster on the CPU too — the paper's
 //! algorithmic wins are not GPU-specific.
+//!
+//! Self-contained timing harness (`harness = false`): each benchmark runs a
+//! warmup pass and then reports the mean and minimum wall time over a fixed
+//! iteration count. Run with `cargo bench -p torchsparse-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use torchsparse_core::{Engine, EnginePreset};
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
 use torchsparse_coords::kernel_map::{search, search_submanifold_symmetric};
@@ -18,6 +22,28 @@ use torchsparse_data::SyntheticDataset;
 use torchsparse_gpusim::DeviceProfile;
 use torchsparse_models::MinkUNet;
 use torchsparse_tensor::{gemm, Matrix};
+
+/// Times `f` over `iters` iterations (after `warmup` discarded runs) and
+/// prints mean and best wall time.
+fn bench<T>(group: &str, name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{group}/{name:<28} mean {:>9.3} ms   best {:>9.3} ms   ({iters} iters)",
+        total / iters as f64,
+        best
+    );
+}
 
 fn scene_coords() -> Vec<Coord> {
     // A coarse (0.4 m) voxelization keeps the scene's coordinate bounding
@@ -29,76 +55,66 @@ fn scene_coords() -> Vec<Coord> {
     ds.scene(7).expect("scene generation").coords().to_vec()
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables() {
     let coords = scene_coords();
-    let mut g = c.benchmark_group("coord_tables");
-    g.sample_size(20);
-    g.bench_function("hashmap_build", |b| {
-        b.iter(|| CoordHashMap::build(black_box(&coords)))
-    });
-    g.bench_function("grid_build", |b| {
-        b.iter(|| GridTable::build(black_box(&coords), u64::MAX).expect("grid fits"))
+    bench("coord_tables", "hashmap_build", 2, 20, || CoordHashMap::build(black_box(&coords)));
+    bench("coord_tables", "grid_build", 2, 20, || {
+        GridTable::build(black_box(&coords), u64::MAX).expect("grid fits")
     });
     let (hash, _) = CoordHashMap::build(&coords);
     let (grid, _) = GridTable::build(&coords, u64::MAX).expect("grid fits");
-    g.bench_function("hashmap_search_k3", |b| {
-        b.iter(|| search(black_box(&coords), &hash, 3, 1).expect("search"))
+    bench("coord_tables", "hashmap_search_k3", 2, 20, || {
+        search(black_box(&coords), &hash, 3, 1).expect("search")
     });
-    g.bench_function("grid_search_k3", |b| {
-        b.iter(|| search(black_box(&coords), &grid, 3, 1).expect("search"))
+    bench("coord_tables", "grid_search_k3", 2, 20, || {
+        search(black_box(&coords), &grid, 3, 1).expect("search")
     });
-    g.bench_function("symmetric_search_k3", |b| {
-        b.iter(|| search_submanifold_symmetric(black_box(&coords), &grid, 3).expect("search"))
+    bench("coord_tables", "symmetric_search_k3", 2, 20, || {
+        search_submanifold_symmetric(black_box(&coords), &grid, 3).expect("search")
     });
-    g.finish();
 }
 
-fn bench_downsample(c: &mut Criterion) {
+fn bench_downsample() {
     let coords = scene_coords();
-    let mut g = c.benchmark_group("downsample");
-    g.sample_size(20);
-    g.bench_function("staged_k2s2", |b| {
-        b.iter(|| staged_output_coords(black_box(&coords), 2, 2, Boundary::unbounded()))
+    bench("downsample", "staged_k2s2", 2, 20, || {
+        staged_output_coords(black_box(&coords), 2, 2, Boundary::unbounded())
     });
-    g.bench_function("fused_k2s2", |b| {
-        b.iter(|| fused_output_coords(black_box(&coords), 2, 2, Boundary::unbounded()))
+    bench("downsample", "fused_k2s2", 2, 20, || {
+        fused_output_coords(black_box(&coords), 2, 2, Boundary::unbounded())
     });
-    g.finish();
 }
 
-fn bench_gemm(c: &mut Criterion) {
+fn bench_gemm() {
     let a = Matrix::from_fn(2048, 64, |r, cc| ((r * 31 + cc * 17) % 97) as f32 / 97.0);
     let w = Matrix::from_fn(64, 64, |r, cc| ((r * 13 + cc * 7) % 89) as f32 / 89.0);
-    let mut g = c.benchmark_group("gemm");
-    g.sample_size(30);
-    g.bench_function("mm_2048x64x64", |b| {
-        b.iter(|| gemm::mm(black_box(&a), black_box(&w)).expect("mm"))
+    bench("gemm", "mm_2048x64x64", 3, 30, || {
+        gemm::mm(black_box(&a), black_box(&w)).expect("mm")
     });
     let batch_a: Vec<Matrix> = (0..8).map(|_| a.clone()).collect();
     let batch_w: Vec<Matrix> = (0..8).map(|_| w.clone()).collect();
-    g.bench_function("bmm_8x2048x64x64", |b| {
-        b.iter(|| gemm::bmm(black_box(&batch_a), black_box(&batch_w)).expect("bmm"))
+    bench("gemm", "bmm_8x2048x64x64", 3, 30, || {
+        gemm::bmm(black_box(&batch_a), black_box(&batch_w)).expect("bmm")
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     // Full CPU inference (numerics + cost model) of a small MinkUNet.
     let input = SyntheticDataset::semantic_kitti(0.02, 4).scene(3).expect("scene");
     let model = MinkUNet::with_width(0.25, 4, 8, 42);
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("minkunet_quarter_cpu", |b| {
-        let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
-        b.iter(|| engine.run(black_box(&model), black_box(&input)).expect("run"))
+    let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+    bench("end_to_end", "minkunet_quarter_cpu", 1, 10, || {
+        engine.run(black_box(&model), black_box(&input)).expect("run")
     });
-    g.bench_function("minkunet_quarter_simulate_only", |b| {
-        let mut engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
-        engine.context_mut().simulate_only = true;
-        b.iter(|| engine.run(black_box(&model), black_box(&input)).expect("run"))
+    let mut sim_engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+    sim_engine.context_mut().simulate_only = true;
+    bench("end_to_end", "minkunet_quarter_simulate_only", 1, 10, || {
+        sim_engine.run(black_box(&model), black_box(&input)).expect("run")
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_downsample, bench_gemm, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_downsample();
+    bench_gemm();
+    bench_end_to_end();
+}

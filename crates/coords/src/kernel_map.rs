@@ -215,6 +215,9 @@ pub fn search_submanifold_symmetric_dilated(
     }
     let offs = kernel_offsets(kernel_size)?;
     let volume = offs.len();
+    // `has_mirror_property` guarantees an odd kernel, which always has a
+    // center offset — this cannot be `None` here.
+    #[allow(clippy::expect_used)]
     let center = offsets::center_index(kernel_size).expect("odd kernel has a center");
     let mut per_offset = vec![Vec::new(); volume];
     let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };

@@ -1,10 +1,10 @@
 //! Engine configuration: the paper's full optimization space, plus presets
 //! reproducing the systems it is evaluated against.
 
-use serde::{Deserialize, Serialize};
+use crate::validate::ValidationConfig;
 
 /// Feature storage precision (§4.3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// 32-bit features — every baseline's starting point.
     Fp32,
@@ -17,7 +17,7 @@ pub enum Precision {
 }
 
 /// Matrix multiplication grouping strategy (§4.2, Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GroupingStrategy {
     /// One `mm` per kernel offset (Figure 6b) — MinkowskiEngine/SpConv.
     Separate,
@@ -47,7 +47,7 @@ impl GroupingStrategy {
 }
 
 /// Map search data structure choice (§4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapSearchStrategy {
     /// Conventional open-addressing hashmap (MinkowskiEngine-style).
     Hashmap,
@@ -63,7 +63,7 @@ pub enum MapSearchStrategy {
 ///
 /// Every toggle corresponds to a paper section; the ablation tables flip
 /// them one at a time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizationConfig {
     /// Feature storage precision (§4.3.1).
     pub precision: Precision,
@@ -97,6 +97,12 @@ pub struct OptimizationConfig {
     /// (§4.2.1: "the kernel offset (0,0,0) ... does not require any explicit
     /// data movement").
     pub skip_center_movement: bool,
+    /// Input validation applied by [`Engine::run`](crate::Engine::run)
+    /// before any layer executes. All presets default to
+    /// [`ValidationPolicy::Trust`](crate::ValidationPolicy::Trust) so
+    /// benchmarks measure only kernel cost; deployments facing untrusted
+    /// inputs switch to `Reject` or `Sanitize`.
+    pub validation: ValidationConfig,
 }
 
 impl OptimizationConfig {
@@ -115,6 +121,7 @@ impl OptimizationConfig {
             fetch_on_demand_below: None,
             grid_cell_limit: 1 << 28,
             skip_center_movement: true,
+            validation: ValidationConfig::default(),
         }
     }
 
@@ -134,6 +141,7 @@ impl OptimizationConfig {
             fetch_on_demand_below: None,
             grid_cell_limit: 1 << 28,
             skip_center_movement: false,
+            validation: ValidationConfig::default(),
         }
     }
 
@@ -160,7 +168,7 @@ impl OptimizationConfig {
 }
 
 /// Named engine presets for the systems the paper evaluates (Figure 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnginePreset {
     /// This paper's system, fully optimized.
     TorchSparse,

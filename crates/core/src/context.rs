@@ -90,6 +90,17 @@ pub struct Context {
     pub layer_profiles: Vec<LayerProfile>,
     /// Whether leaf layers should record per-layer profiles.
     pub profile_layers: bool,
+    /// Deterministic fault scheduler. Disarmed by default; survives
+    /// [`Context::begin_run`] so tests arm faults before calling
+    /// [`Engine::run`](crate::Engine::run).
+    pub faults: crate::faults::FaultInjector,
+    /// Every graceful-degradation decision of the current run (cleared by
+    /// [`Context::begin_run`]).
+    pub degradation: crate::faults::DegradationReport,
+    /// Set when adaptive-grouping tuning failed: layers configured for
+    /// adaptive grouping run with fixed grouping instead. Survives
+    /// [`Context::begin_run`] like [`Context::tuned_groups`].
+    pub grouping_fallback: bool,
 }
 
 /// One leaf layer's contribution to a run, captured by the layer profiler.
@@ -128,6 +139,9 @@ impl Context {
             simulate_only: false,
             layer_profiles: Vec::new(),
             profile_layers: false,
+            faults: crate::faults::FaultInjector::disarmed(),
+            degradation: crate::faults::DegradationReport::new(),
+            grouping_fallback: false,
             config,
             device,
         }
@@ -142,6 +156,7 @@ impl Context {
         self.mem = MemorySim::new(&self.device);
         self.map_cache.clear();
         self.layer_profiles.clear();
+        self.degradation.clear();
     }
 
     /// Snapshots the current timeline; pair with
@@ -267,5 +282,16 @@ mod tests {
     #[test]
     fn debug_impl_nonempty() {
         assert!(!format!("{:?}", ctx()).is_empty());
+    }
+
+    #[test]
+    fn begin_run_clears_degradation_but_keeps_armed_faults() {
+        use crate::faults::FaultSite;
+        let mut c = ctx();
+        c.faults.arm(FaultSite::GridTableBuild);
+        c.degradation.record(FaultSite::Fp16Overflow, "stale");
+        c.begin_run();
+        assert!(c.degradation.is_empty());
+        assert!(c.faults.is_armed());
     }
 }

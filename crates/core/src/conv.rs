@@ -1,10 +1,11 @@
-use crate::config::GroupingStrategy;
+use crate::config::{GroupingStrategy, Precision};
 use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
 use crate::dataflow::{
     apply_storage_precision, run_fetch_on_demand, run_gather_matmul_scatter, ConvWorkload,
 };
+use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
-use crate::mapping::build_layer_mapping_dilated;
+use crate::mapping::build_layer_mapping_observed;
 use crate::module::Module;
 use crate::{CoreError, SparseTensor};
 use std::sync::Arc;
@@ -123,6 +124,9 @@ impl SparseConv3d {
                 })
             })
             .collect();
+        // `new` only rejects weight shape mismatches; the weights above are
+        // constructed with exactly `volume` matrices of `c_in x c_out`.
+        #[allow(clippy::expect_used)]
         SparseConv3d::new(name, c_in, c_out, kernel_size, stride, false, weights)
             .expect("constructed weights are consistent")
     }
@@ -228,17 +232,28 @@ impl SparseConv3d {
         };
         if let Some(hit) = ctx.cached_map(key) {
             // Map reuse across layers sharing (stride, kernel): free, as in
-            // real engines' coordinate managers.
-            return Ok((hit, true));
+            // real engines' coordinate managers. An injected cache fault
+            // invalidates the entry; the map is an optimization, not a
+            // correctness dependency, so the fallback is a plain rebuild.
+            if !ctx.faults.should_fail(FaultSite::KernelMapCache) {
+                return Ok((hit, true));
+            }
+            ctx.degradation
+                .record(FaultSite::KernelMapCache, "injected cache invalidation; map rebuilt");
         }
-        let mapping = build_layer_mapping_dilated(
-            input.coords(),
-            self.kernel_size,
-            self.stride,
-            self.dilation,
-            &ctx.config,
-            &ctx.device,
-        )?;
+        let mapping = {
+            let Context { config, device, faults, degradation, .. } = ctx;
+            build_layer_mapping_observed(
+                input.coords(),
+                self.kernel_size,
+                self.stride,
+                self.dilation,
+                config,
+                device,
+                faults,
+                degradation,
+            )?
+        };
         ctx.timeline.add(Stage::Mapping, mapping.latency);
         let cached = CachedMap {
             map: mapping.map,
@@ -313,21 +328,47 @@ impl Module for SparseConv3d {
         let avg_map = map_ref.total_entries() / map_ref.num_offsets().max(1);
         let use_fod = ctx.config.fetch_on_demand_below.is_some_and(|t| avg_map < t);
 
-        let out_feats = if use_fod {
-            run_fetch_on_demand(&workload, ctx)?
-        } else {
-            // Grouping strategy, with per-layer tuned parameters if present.
+        let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {
+            if use_fod {
+                return run_fetch_on_demand(&workload, ctx);
+            }
+            // Grouping strategy, with per-layer tuned parameters if present;
+            // after a tuning failure adaptive layers degrade to fixed groups.
             let strategy = match (ctx.config.grouping, ctx.tuned_for(&self.name)) {
+                (GroupingStrategy::Adaptive { .. }, _) if ctx.grouping_fallback => {
+                    GroupingStrategy::Fixed
+                }
                 (GroupingStrategy::Adaptive { .. }, Some((epsilon, s_threshold))) => {
                     GroupingStrategy::Adaptive { epsilon, s_threshold }
                 }
                 (s, _) => s,
             };
             let plan = plan_groups(&map_ref.sizes(), submanifold, strategy);
-            run_gather_matmul_scatter(&workload, &plan, ctx)?
+            run_gather_matmul_scatter(&workload, &plan, ctx)
         };
 
-        let out_feats = apply_storage_precision(&out_feats, ctx.config.precision);
+        let mut out_feats = apply_storage_precision(&run_dataflow(ctx)?, ctx.config.precision);
+        if ctx.config.precision != Precision::Fp32 {
+            if !out_feats.is_empty() && ctx.faults.should_fail(FaultSite::Fp16Overflow) {
+                // Simulate a quantized activation saturating to infinity;
+                // detection below then takes the same path as an organic
+                // overflow.
+                out_feats.as_mut_slice()[0] = f32::INFINITY;
+            }
+            if !out_feats.is_finite() {
+                ctx.degradation.record(
+                    FaultSite::Fp16Overflow,
+                    "non-finite quantized output; layer re-run in FP32",
+                );
+                let saved = ctx.config.precision;
+                ctx.config.precision = Precision::Fp32;
+                let redo = run_dataflow(ctx);
+                ctx.config.precision = saved;
+                // The re-run output stays FP32: precision is a storage
+                // optimization, and this layer just proved it loses too much.
+                out_feats = redo?;
+            }
+        }
         ctx.finish_layer_profile(&self.name, input.len(), profile_start);
         SparseTensor::with_stride(out_coords.to_vec(), out_feats, out_stride)
     }

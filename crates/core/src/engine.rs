@@ -55,19 +55,39 @@ impl Engine {
 
     /// Runs a model end-to-end on one input scene.
     ///
-    /// Per-run state (timeline, L2 simulator, map cache) is reset first, so
-    /// consecutive calls are independent measurements.
+    /// Per-run state (timeline, L2 simulator, map cache, degradation
+    /// report) is reset first, so consecutive calls are independent
+    /// measurements. The input is screened against the configuration's
+    /// [`ValidationConfig`](crate::ValidationConfig) before any layer
+    /// executes; under `Sanitize` the model runs on the repaired tensor and
+    /// the repairs appear in [`Engine::degradation_report`].
     ///
     /// # Errors
     ///
-    /// Propagates any [`CoreError`] raised by the model's layers.
+    /// Validation failures under the `Reject` policy
+    /// ([`CoreError::NonFiniteFeatures`], [`CoreError::ExtentOverflow`],
+    /// [`CoreError::BudgetExceeded`], duplicate coordinates), plus any
+    /// [`CoreError`] raised by the model's layers.
     pub fn run<M: Module + ?Sized>(
         &mut self,
         model: &M,
         input: &SparseTensor,
     ) -> Result<SparseTensor, CoreError> {
         self.ctx.begin_run();
-        model.forward(input, &mut self.ctx)
+        let sanitized = {
+            let Context { config, faults, degradation, .. } = &mut self.ctx;
+            crate::validate::validate_input(input, &config.validation, faults, degradation)?
+        };
+        match sanitized {
+            Some(cleaned) => model.forward(&cleaned, &mut self.ctx),
+            None => model.forward(input, &mut self.ctx),
+        }
+    }
+
+    /// Every graceful-degradation decision of the last [`Engine::run`]
+    /// (empty when the run needed no fallbacks).
+    pub fn degradation_report(&self) -> &crate::faults::DegradationReport {
+        &self.ctx.degradation
     }
 
     /// Per-stage latency of the last [`Engine::run`].

@@ -40,6 +40,29 @@ pub enum CoreError {
     },
     /// An empty input tensor where computation requires points.
     EmptyInput,
+    /// Input features contain NaN or infinite values (validation policy
+    /// [`Reject`](crate::ValidationPolicy::Reject)).
+    NonFiniteFeatures {
+        /// Number of non-finite feature values found.
+        count: usize,
+    },
+    /// The input's coordinate bounding box requires more grid cells than the
+    /// validation budget allows — building a grid table over it would
+    /// exhaust memory.
+    ExtentOverflow {
+        /// Cells the bounding box requires (`u64::MAX` when the product
+        /// itself overflows 64 bits).
+        cells: u64,
+        /// The configured cell budget.
+        limit: u64,
+    },
+    /// The input exceeds the configured point budget.
+    BudgetExceeded {
+        /// Points in the input.
+        points: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +84,15 @@ impl fmt::Display for CoreError {
                 write!(f, "expected {expected} weight matrices, got {actual}")
             }
             CoreError::EmptyInput => write!(f, "input tensor has no points"),
+            CoreError::NonFiniteFeatures { count } => {
+                write!(f, "input features contain {count} non-finite values")
+            }
+            CoreError::ExtentOverflow { cells, limit } => {
+                write!(f, "coordinate extent needs {cells} grid cells, budget is {limit}")
+            }
+            CoreError::BudgetExceeded { points, limit } => {
+                write!(f, "input has {points} points, budget is {limit}")
+            }
         }
     }
 }
@@ -101,6 +133,9 @@ mod tests {
             CoreError::MissingCachedMap { stride: 2, kernel_size: 2 },
             CoreError::BadWeightCount { expected: 27, actual: 26 },
             CoreError::EmptyInput,
+            CoreError::NonFiniteFeatures { count: 3 },
+            CoreError::ExtentOverflow { cells: u64::MAX, limit: 1 << 28 },
+            CoreError::BudgetExceeded { points: 1_000_000, limit: 500_000 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -21,9 +21,17 @@
 //! Every layer *executes* numerically on the CPU (outputs are bit-exact
 //! across dataflows in FP32 and verified against a dense oracle) while the
 //! engine *accounts* simulated GPU cost through `torchsparse-gpusim`.
+//!
+//! The engine is also fault-tolerant: [`validate`] screens every input to
+//! [`Engine::run`] under a configurable [`ValidationPolicy`], [`faults`]
+//! provides deterministic fault injection at named sites, and each
+//! degradation (grid→hashmap fallback, FP16 overflow→FP32 re-run, tuning
+//! failure→fixed grouping) is recorded in an observable
+//! [`DegradationReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod context;
@@ -36,9 +44,11 @@ mod pooling;
 mod sparse_tensor;
 
 pub mod dataflow;
+pub mod faults;
 pub mod grouping;
 pub mod mapping;
 pub mod tuning;
+pub mod validate;
 
 pub use config::{
     EnginePreset, GroupingStrategy, MapSearchStrategy, OptimizationConfig, Precision,
@@ -47,9 +57,11 @@ pub use context::{Context, LayerProfile, LayerWorkload, MapKey};
 pub use conv::SparseConv3d;
 pub use engine::Engine;
 pub use error::CoreError;
+pub use faults::{DegradationEvent, DegradationReport, FaultInjector, FaultSite};
 pub use module::{Module, Sequential};
 pub use pointwise::{BatchNorm, GlobalPool, ReLU};
 pub use pooling::{PoolReduction, SparseMaxPool3d};
 pub use sparse_tensor::SparseTensor;
+pub use validate::{ValidationConfig, ValidationPolicy};
 
 pub use torchsparse_gpusim::DeviceProfile;

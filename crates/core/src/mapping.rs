@@ -15,6 +15,7 @@
 //! microseconds with a small set of calibrated constants.
 
 use crate::config::{MapSearchStrategy, OptimizationConfig};
+use crate::faults::{DegradationReport, FaultInjector, FaultSite};
 use crate::CoreError;
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
 use torchsparse_coords::kernel_map::{search_dilated, search_submanifold_symmetric_dilated};
@@ -121,6 +122,40 @@ pub fn build_layer_mapping_dilated(
     config: &OptimizationConfig,
     device: &DeviceProfile,
 ) -> Result<LayerMapping, CoreError> {
+    let mut faults = FaultInjector::disarmed();
+    let mut degradation = DegradationReport::new();
+    build_layer_mapping_observed(
+        in_coords,
+        kernel_size,
+        conv_stride,
+        dilation,
+        config,
+        device,
+        &mut faults,
+        &mut degradation,
+    )
+}
+
+/// [`build_layer_mapping_dilated`] threaded through the engine's fault
+/// injector and degradation report: a grid-table failure — organic
+/// `GridTooLarge` or injected at [`FaultSite::GridTableBuild`] — degrades
+/// to the hashmap table and is recorded instead of being swallowed
+/// silently.
+///
+/// # Errors
+///
+/// As [`build_layer_mapping_dilated`].
+#[allow(clippy::too_many_arguments)] // mirrors the engine's disjoint Context borrows
+pub fn build_layer_mapping_observed(
+    in_coords: &[Coord],
+    kernel_size: usize,
+    conv_stride: i32,
+    dilation: i32,
+    config: &OptimizationConfig,
+    device: &DeviceProfile,
+    faults: &mut FaultInjector,
+    degradation: &mut DegradationReport,
+) -> Result<LayerMapping, CoreError> {
     if in_coords.is_empty() {
         return Err(CoreError::EmptyInput);
     }
@@ -150,7 +185,7 @@ pub fn build_layer_mapping_dilated(
 
     // 2. Table construction over the input coordinates.
     let (table, build_stats, kind): (Box<dyn CoordTable>, MappingStats, TableKind) =
-        build_table(in_coords, config)?;
+        build_table(in_coords, config, faults, degradation)?;
     latency += stats_latency(
         &build_stats,
         device,
@@ -183,30 +218,44 @@ pub fn build_layer_mapping_dilated(
 fn build_table(
     coords: &[Coord],
     config: &OptimizationConfig,
+    faults: &mut FaultInjector,
+    degradation: &mut DegradationReport,
 ) -> Result<(Box<dyn CoordTable>, MappingStats, TableKind), CoreError> {
     let hash = |coords: &[Coord]| {
         let (t, probes) = CoordHashMap::build(coords);
         let stats = MappingStats { reads: 0, writes: probes, kernel_launches: 1, candidate_ops: 0 };
         (Box::new(t) as Box<dyn CoordTable>, stats, TableKind::Hashmap)
     };
-    let grid = |coords: &[Coord]| -> Result<_, CoordsError> {
-        let (t, accesses) = GridTable::build(coords, config.grid_cell_limit)?;
-        let stats = MappingStats { reads: 0, writes: accesses, kernel_launches: 1, candidate_ops: 0 };
-        Ok((Box::new(t) as Box<dyn CoordTable>, stats, TableKind::Grid))
+    if config.map_search == MapSearchStrategy::Hashmap {
+        return Ok(hash(coords));
+    }
+    // Grid or Auto: try the dense grid, degrade to the hashmap when
+    // construction fails (SpConv-style engines do the same silently; here
+    // the fallback is recorded so operators can see it happened).
+    let forced = faults.should_fail(FaultSite::GridTableBuild);
+    let attempt = if forced {
+        Err(CoordsError::GridTooLarge { cells: u64::MAX, limit: config.grid_cell_limit })
+    } else {
+        GridTable::build(coords, config.grid_cell_limit).map(|(t, accesses)| {
+            let stats =
+                MappingStats { reads: 0, writes: accesses, kernel_launches: 1, candidate_ops: 0 };
+            (Box::new(t) as Box<dyn CoordTable>, stats, TableKind::Grid)
+        })
     };
-    match config.map_search {
-        MapSearchStrategy::Hashmap => Ok(hash(coords)),
-        MapSearchStrategy::Grid => match grid(coords) {
-            Ok(t) => Ok(t),
-            // SpConv-style engines fall back to hashing enormous scenes.
-            Err(CoordsError::GridTooLarge { .. }) => Ok(hash(coords)),
-            Err(e) => Err(e.into()),
-        },
-        MapSearchStrategy::Auto => match grid(coords) {
-            Ok(t) => Ok(t),
-            Err(CoordsError::GridTooLarge { .. }) => Ok(hash(coords)),
-            Err(e) => Err(e.into()),
-        },
+    match attempt {
+        Ok(t) => Ok(t),
+        Err(CoordsError::GridTooLarge { .. }) => {
+            degradation.record(
+                FaultSite::GridTableBuild,
+                if forced {
+                    "injected grid-table failure; hashmap fallback"
+                } else {
+                    "grid table over cell budget; hashmap fallback"
+                },
+            );
+            Ok(hash(coords))
+        }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -349,5 +398,63 @@ mod tests {
         cfg.grid_cell_limit = 1 << 20;
         let m = build_layer_mapping(&coords, 3, 1, &cfg, &device()).unwrap();
         assert_eq!(m.table, TableKind::Hashmap);
+    }
+
+    #[test]
+    fn organic_grid_fallback_is_recorded() {
+        let mut coords = coords_blob(4);
+        coords.push(Coord::new(0, 100_000, 100_000, 100_000));
+        let mut cfg = OptimizationConfig::torchsparse();
+        cfg.grid_cell_limit = 1 << 20;
+        let mut faults = FaultInjector::disarmed();
+        let mut report = DegradationReport::new();
+        let m = build_layer_mapping_observed(
+            &coords, 3, 1, 1, &cfg, &device(), &mut faults, &mut report,
+        )
+        .unwrap();
+        assert_eq!(m.table, TableKind::Hashmap);
+        assert_eq!(report.count(FaultSite::GridTableBuild), 1);
+        assert!(report.events()[0].cause.contains("over cell budget"));
+    }
+
+    #[test]
+    fn injected_grid_fault_degrades_and_produces_same_map() {
+        let coords = coords_blob(8);
+        let cfg = OptimizationConfig::torchsparse();
+        let healthy = build_layer_mapping(&coords, 3, 1, &cfg, &device()).unwrap();
+        assert_eq!(healthy.table, TableKind::Grid);
+
+        let mut faults = FaultInjector::disarmed();
+        faults.arm(FaultSite::GridTableBuild);
+        let mut report = DegradationReport::new();
+        let degraded = build_layer_mapping_observed(
+            &coords, 3, 1, 1, &cfg, &device(), &mut faults, &mut report,
+        )
+        .unwrap();
+        assert_eq!(degraded.table, TableKind::Hashmap);
+        assert_eq!(report.count(FaultSite::GridTableBuild), 1);
+        // The fallback table yields the identical kernel map.
+        assert_eq!(healthy.map.total_entries(), degraded.map.total_entries());
+        for n in 0..27 {
+            let mut a: Vec<_> = healthy.map.entries(n).to_vec();
+            let mut b: Vec<_> = degraded.map.entries(n).to_vec();
+            a.sort_by_key(|e| (e.output, e.input));
+            b.sort_by_key(|e| (e.output, e.input));
+            assert_eq!(a, b, "offset {n}");
+        }
+    }
+
+    #[test]
+    fn hashmap_strategy_never_probes_grid_fault() {
+        let coords = coords_blob(6);
+        let mut cfg = OptimizationConfig::baseline_fp32();
+        cfg.map_search = MapSearchStrategy::Hashmap;
+        let mut faults = FaultInjector::disarmed();
+        faults.arm(FaultSite::GridTableBuild);
+        let mut report = DegradationReport::new();
+        build_layer_mapping_observed(&coords, 3, 1, 1, &cfg, &device(), &mut faults, &mut report)
+            .unwrap();
+        assert!(faults.is_armed(), "no grid build happens under Hashmap strategy");
+        assert!(report.is_empty());
     }
 }

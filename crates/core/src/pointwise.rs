@@ -161,6 +161,9 @@ impl Module for GlobalPool {
         let mut sums = vec![vec![0.0f32; c]; batches.len()];
         let mut counts = vec![0usize; batches.len()];
         for (i, coord) in input.coords().iter().enumerate() {
+            // `batches` was collected from these very coordinates, so every
+            // batch id is present in the sorted, deduped list.
+            #[allow(clippy::expect_used)]
             let b = batches.binary_search(&coord.batch).expect("batch present");
             counts[b] += 1;
             for (s, v) in sums[b].iter_mut().zip(input.feats().row(i)) {

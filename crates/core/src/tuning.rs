@@ -84,15 +84,26 @@ pub struct TuningReport {
     pub samples: usize,
     /// Number of `(epsilon, S)` configurations evaluated per layer.
     pub configs_searched: usize,
+    /// Whether tuning failed and the engine was degraded to fixed grouping
+    /// instead of installing per-layer parameters.
+    pub degraded: bool,
 }
 
 /// Runs Algorithm 5: profiles the model on `samples`, grid-searches
 /// `(epsilon, S)` per layer, and installs the winners into the engine's
 /// context.
 ///
+/// Tuning itself degrades gracefully: when a profiling run fails — or a
+/// [`FaultSite::GroupTuning`](crate::FaultSite::GroupTuning) fault is
+/// injected — the engine falls back to fixed grouping
+/// ([`GroupingStrategy::Fixed`] semantics for adaptive layers), the
+/// fallback is recorded in the context's degradation report, and the
+/// returned report carries `degraded = true`. Inference keeps working
+/// either way; only the grouping optimality is lost.
+///
 /// # Errors
 ///
-/// Propagates model execution errors from the profiling runs.
+/// None currently — profiling failures degrade instead of propagating.
 pub fn tune_engine<M: Module + ?Sized>(
     engine: &mut Engine,
     model: &M,
@@ -104,15 +115,38 @@ pub fn tune_engine<M: Module + ?Sized>(
 
     // Profile: collect per-layer workloads across the calibration scenes.
     let mut per_layer: HashMap<String, Vec<LayerWorkload>> = HashMap::new();
+    let mut failure: Option<String> = None;
     for sample in samples {
         engine.context_mut().record_workloads = true;
         engine.context_mut().workloads.clear();
-        engine.run(model, sample)?;
+        let run = engine.run(model, sample);
         engine.context_mut().record_workloads = false;
+        if let Err(e) = run {
+            failure = Some(e.to_string());
+            break;
+        }
         let workloads = std::mem::take(&mut engine.context_mut().workloads);
         for w in workloads {
             per_layer.entry(w.name.clone()).or_default().push(w);
         }
+    }
+    if engine.context_mut().faults.should_fail(crate::faults::FaultSite::GroupTuning) {
+        failure = Some("injected tuning fault".to_owned());
+    }
+    if let Some(cause) = failure {
+        let ctx = engine.context_mut();
+        ctx.grouping_fallback = true;
+        ctx.tuned_groups.clear();
+        ctx.degradation.record(
+            crate::faults::FaultSite::GroupTuning,
+            &format!("tuning failed ({cause}); fixed grouping installed"),
+        );
+        return Ok(TuningReport {
+            selected: HashMap::new(),
+            samples: samples.len(),
+            configs_searched,
+            degraded: true,
+        });
     }
 
     // Grid search per layer (Algorithm 5's double loop).
@@ -139,7 +173,7 @@ pub fn tune_engine<M: Module + ?Sized>(
     }
 
     engine.context_mut().tuned_groups = selected.clone();
-    Ok(TuningReport { selected, samples: samples.len(), configs_searched })
+    Ok(TuningReport { selected, samples: samples.len(), configs_searched, degraded: false })
 }
 
 #[cfg(test)]
@@ -217,6 +251,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn injected_tuning_fault_degrades_to_fixed_grouping() {
+        use crate::faults::FaultSite;
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        e.context_mut().faults.arm(FaultSite::GroupTuning);
+        let report = tune_engine(&mut e, &model(), &[scene(0)], None).unwrap();
+        assert!(report.degraded);
+        assert!(report.selected.is_empty());
+        assert!(e.context().grouping_fallback);
+        assert!(e.degradation_report().count(FaultSite::GroupTuning) >= 1);
+        // The engine still runs end-to-end with the fixed-grouping fallback.
+        let out = e.run(&model(), &scene(1)).unwrap();
+        assert!(out.len() > 0);
+    }
+
+    #[test]
+    fn successful_tuning_is_not_degraded() {
+        let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let report = tune_engine(&mut e, &model(), &[scene(0)], None).unwrap();
+        assert!(!report.degraded);
+        assert!(!e.context().grouping_fallback);
     }
 
     #[test]

@@ -35,14 +35,37 @@ impl Voxelizer {
 
     /// Voxelizes one scan.
     ///
+    /// Points with non-finite coordinates are dropped (see
+    /// [`Voxelizer::voxelize_counted`] to observe how many); feeding them to
+    /// the grid math would otherwise saturate the `as i32` casts and pile
+    /// every corrupt point into the `i32::MIN`/`i32::MAX` corner voxels.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError`] from tensor construction (cannot occur for a
     /// well-formed voxel map).
     pub fn voxelize(&self, scan: &PointCloud) -> Result<SparseTensor, CoreError> {
+        self.voxelize_counted(scan).map(|(t, _)| t)
+    }
+
+    /// [`Voxelizer::voxelize`] that also reports how many points were
+    /// dropped for having NaN or infinite coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Voxelizer::voxelize`].
+    pub fn voxelize_counted(
+        &self,
+        scan: &PointCloud,
+    ) -> Result<(SparseTensor, usize), CoreError> {
         // voxel -> (count, sum_intensity, sum_offset)
         let mut cells: HashMap<Coord, (usize, f32, [f32; 3])> = HashMap::new();
+        let mut dropped = 0usize;
         for (p, &intensity) in scan.points.iter().zip(&scan.intensity) {
+            if p.iter().any(|v| !v.is_finite()) {
+                dropped += 1;
+                continue;
+            }
             let v = Coord::new(
                 self.batch,
                 (p[0] / self.voxel_size).floor() as i32,
@@ -76,7 +99,7 @@ impl Voxelizer {
                 _ => 0.0,
             }
         });
-        SparseTensor::new(coords, feats)
+        SparseTensor::new(coords, feats).map(|t| (t, dropped))
     }
 }
 
@@ -176,6 +199,31 @@ mod tests {
         let coarse = voxelize_scan(&scan, 0.4, 4).unwrap();
         let fine = voxelize_scan(&scan, 0.05, 4).unwrap();
         assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped_and_counted() {
+        let scan = cloud(vec![
+            [0.05, 0.05, 0.05],
+            [f32::NAN, 0.0, 0.0],
+            [0.0, f32::INFINITY, 0.0],
+            [0.0, 0.0, f32::NEG_INFINITY],
+            [0.15, 0.05, 0.05],
+        ]);
+        let (t, dropped) = Voxelizer::new(0.1, 4).voxelize_counted(&scan).unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(t.len(), 2);
+        // No saturated corner voxels from the corrupt points.
+        assert!(t.coords().iter().all(|c| c.x.abs() < 100));
+        assert!(t.feats().is_finite());
+    }
+
+    #[test]
+    fn all_non_finite_scan_yields_empty_tensor() {
+        let scan = cloud(vec![[f32::NAN; 3], [f32::INFINITY; 3]]);
+        let (t, dropped) = Voxelizer::new(0.1, 4).voxelize_counted(&scan).unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Characteristics of a simulated NVIDIA GPU.
 ///
 /// The published numbers (peak TFLOP/s, DRAM bandwidth, L2 capacity) come
@@ -8,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// simulator reproduces the paper's measured utilization anchors (e.g. the
 /// separate-matmul baseline running at ~30% utilization on RTX 2080 Ti,
 /// §3 Principle I); they are never tuned per experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Marketing name, e.g. `"RTX 3090"`.
     pub name: String,
@@ -138,11 +136,5 @@ mod tests {
     #[test]
     fn evaluation_devices_are_three() {
         assert_eq!(DeviceProfile::evaluation_devices().len(), 3);
-    }
-
-    #[test]
-    fn profile_is_serializable() {
-        fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
-        assert_serde::<DeviceProfile>();
     }
 }

@@ -1,9 +1,8 @@
 use crate::Micros;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Execution stage of a sparse CNN, matching the paper's Figure 4 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Map search, output coordinate calculation, table construction.
     Mapping,

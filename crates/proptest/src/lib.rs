@@ -1,0 +1,287 @@
+//! Minimal property-based testing, API-compatible with the subset of the
+//! `proptest` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! its own runner: strategies are ranges, tuples of strategies, and
+//! [`collection::vec`]; the [`proptest!`] macro generates `#[test]` functions
+//! that draw inputs from a deterministic seeded generator and run the body
+//! for [`ProptestConfig::cases`] iterations. `prop_assert!` failures report
+//! the failing case index; because generation is fully deterministic, any
+//! failure reproduces exactly on re-run.
+//!
+//! Deliberately not implemented: shrinking, persistence files, `any::<T>()`,
+//! `prop_oneof!`, mapped/filtered strategies — nothing in this repository
+//! uses them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A source of random test inputs.
+///
+/// Implemented for numeric ranges (`-5i32..5`, `0.0f32..1.0`), tuples of
+/// strategies up to arity 6, and [`collection::vec`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{RngExt, StdRng, Strategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: draws inputs and evaluates the body `config.cases`
+/// times, panicking (so the surrounding `#[test]` fails) on the first case
+/// whose body returns an error.
+///
+/// Used by the expansion of [`proptest!`]; not called directly.
+pub fn run_proptest<F>(config: ProptestConfig, property: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    // Seed derived from the property name so distinct properties explore
+    // distinct inputs, yet every run of the same property is identical.
+    let seed = property
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..config.cases {
+        if let Err(msg) = case(&mut rng) {
+            panic!("property '{property}' failed at case {i}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+/// Defines property-based `#[test]` functions.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///
+///     #[test]
+///     fn addition_commutes(a in -100i32..100, b in -100i32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest($cfg, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    let mut __proptest_case =
+                        move || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, failing the current case
+/// with both values on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Doc comments and multiple args with a trailing comma must parse.
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in -5i32..5,
+            b in 0usize..10,
+            c in -1.0f32..1.0,
+        ) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 10);
+            prop_assert!((-1.0..1.0).contains(&c), "c = {c}");
+        }
+
+        #[test]
+        fn tuples_and_vecs(sites in crate::collection::vec((0i32..2, -8i32..8, -8i32..8), 1..20)) {
+            prop_assert!(!sites.is_empty() && sites.len() < 20);
+            for &(b, x, y) in &sites {
+                prop_assert!((0..2).contains(&b));
+                prop_assert!((-8..8).contains(&x) && (-8..8).contains(&y));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(seed in 0u64..1000) {
+            prop_assert_eq!(seed.min(999), seed);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_proptest(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+                Err("nope".to_string())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails") && msg.contains("case 0"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u32..1000, 5..6);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

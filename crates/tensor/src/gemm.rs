@@ -4,7 +4,7 @@
 //! (Algorithm 2 of the paper). This module provides:
 //!
 //! - [`mm`]: `C = A * B` with cache-blocked loops, parallelized across row
-//!   panels with `crossbeam::scope` (no unsafe, no global thread pool).
+//!   panels with `std::thread::scope` (no unsafe, no global thread pool).
 //! - [`mm_accumulate`]: `C += A * B`, the scatter-accumulate-friendly variant.
 //! - [`bmm`]: batched GEMM over equal-shaped matrices, mirroring cuBLAS
 //!   `gemmStridedBatched` as used by the paper's grouped matmul (§4.2).
@@ -108,12 +108,11 @@ fn mm_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
             work(row0, panel);
         }
     } else {
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (row0, panel) in panels {
-                s.spawn(move |_| work(row0, panel));
+                s.spawn(move || work(row0, panel));
             }
-        })
-        .expect("gemm worker panicked");
+        });
     }
     Ok(())
 }

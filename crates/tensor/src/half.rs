@@ -153,6 +153,18 @@ impl Half {
     pub fn is_finite(self) -> bool {
         (self.0 & 0x7C00) != 0x7C00
     }
+
+    /// Whether every value in `values` is finite. Cheap bit test per
+    /// element — the FP16 storage path uses this to detect overflow to
+    /// infinity without converting back to f32.
+    pub fn all_finite(values: &[Half]) -> bool {
+        values.iter().all(|h| h.is_finite())
+    }
+
+    /// Number of NaN or infinite values in `values`.
+    pub fn count_nonfinite(values: &[Half]) -> usize {
+        values.iter().filter(|h| !h.is_finite()).count()
+    }
 }
 
 impl From<f32> for Half {
@@ -224,6 +236,24 @@ impl fmt::Display for Half {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_finite_scans() {
+        let clean = [Half::ZERO, Half::ONE, Half::MAX];
+        assert!(Half::all_finite(&clean));
+        assert_eq!(Half::count_nonfinite(&clean), 0);
+        let dirty = [
+            Half::ONE,
+            Half::INFINITY,
+            Half::NEG_INFINITY,
+            Half::from_f32(f32::NAN),
+        ];
+        assert!(!Half::all_finite(&dirty));
+        assert_eq!(Half::count_nonfinite(&dirty), 3);
+        assert!(Half::all_finite(&[]), "empty slice is finite");
+        // Overflow to infinity through quantization is detected.
+        assert_eq!(Half::count_nonfinite(&[Half::from_f32(1e30)]), 1);
+    }
 
     #[test]
     fn exact_small_integers_roundtrip() {

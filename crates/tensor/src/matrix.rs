@@ -215,6 +215,18 @@ impl Matrix {
             *v = f(*v);
         }
     }
+
+    /// Whether every element is finite (no NaN or infinity). The engine's
+    /// quantized-precision fallback scans layer outputs with this to decide
+    /// whether an FP32 re-run is needed; an empty matrix is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Number of NaN or infinite elements.
+    pub fn count_nonfinite(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_finite()).count()
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -427,6 +439,18 @@ mod tests {
         let b = Matrix::from_vec(1, 2, vec![3.5, 2.0]).unwrap();
         assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
         assert!((Matrix::eye(2).frobenius_norm() - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_scan() {
+        let mut m = Matrix::filled(2, 3, 1.5);
+        assert!(m.is_finite());
+        assert_eq!(m.count_nonfinite(), 0);
+        m[(0, 1)] = f32::NAN;
+        m[(1, 2)] = f32::NEG_INFINITY;
+        assert!(!m.is_finite());
+        assert_eq!(m.count_nonfinite(), 2);
+        assert!(Matrix::zeros(0, 4).is_finite(), "empty matrix is finite");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use torchsparse::core::{
-    Engine, EnginePreset, Module, Precision, SparseMaxPool3d, SparseTensor,
+    Engine, EnginePreset, Precision, SparseMaxPool3d, SparseTensor,
 };
 use torchsparse::coords::Coord;
 use torchsparse::data::SyntheticDataset;
