@@ -27,13 +27,17 @@ pub struct GridTable {
     min: [i64; 4],
     /// Extent along each of (batch, x, y, z).
     extent: [i64; 4],
-    /// Dense cells; `u32::MAX` marks empty.
+    /// Dense cells storing `index + 1`; `0` marks empty. The +1 encoding
+    /// lets the table allocate with `vec![0; n]`, which the allocator
+    /// serves from fresh zero pages — the dense array can reach hundreds
+    /// of megabytes, and a sentinel memset over it would cost more than
+    /// the map search it supports.
     cells: Vec<u32>,
     len: usize,
 }
 
-/// Sentinel for an empty cell.
-const EMPTY: u32 = u32::MAX;
+/// Sentinel for an empty cell (occupied cells store `index + 1`).
+const EMPTY: u32 = 0;
 
 impl GridTable {
     /// Builds a grid table over the bounding box of `coords`, assigning each
@@ -111,7 +115,7 @@ impl CoordTable for GridTable {
             return 1;
         };
         if self.cells[cell] == EMPTY {
-            self.cells[cell] = index;
+            self.cells[cell] = index + 1;
             self.len += 1;
         }
         1 // exactly one DRAM access: the collision-free property
@@ -121,7 +125,7 @@ impl CoordTable for GridTable {
         match self.cell_of(coord) {
             Some(cell) => {
                 let v = self.cells[cell];
-                (if v == EMPTY { None } else { Some(v) }, 1)
+                (if v == EMPTY { None } else { Some(v - 1) }, 1)
             }
             // Out-of-box coordinates are rejected by the bounds check alone,
             // before touching memory.

@@ -25,6 +25,7 @@ pub struct CoordHashMap {
     slots: Vec<Option<(Coord, u32)>>,
     mask: usize,
     len: usize,
+    growths: u64,
 }
 
 impl CoordHashMap {
@@ -38,17 +39,22 @@ impl CoordHashMap {
     /// engines use to bound probe chains.
     pub fn with_capacity(expected: usize) -> Self {
         let slots = (expected * Self::LOAD_FACTOR_INV).next_power_of_two().max(8);
-        CoordHashMap { slots: vec![None; slots], mask: slots - 1, len: 0 }
+        CoordHashMap { slots: vec![None; slots], mask: slots - 1, len: 0, growths: 0 }
     }
 
     /// Builds a table from a coordinate list, assigning each coordinate its
     /// position as the index. Returns the table and total construction probes.
+    ///
+    /// The table is pre-sized from `coords.len()`, so construction never
+    /// rehashes ([`CoordHashMap::growth_count`] stays 0) — every mapping-path
+    /// build pays exactly one allocation.
     pub fn build(coords: &[Coord]) -> (Self, u64) {
         let mut table = CoordHashMap::with_capacity(coords.len());
         let mut probes = 0;
         for (i, &c) in coords.iter().enumerate() {
             probes += table.insert(c, i as u32);
         }
+        debug_assert_eq!(table.growth_count(), 0, "pre-sized build must not rehash");
         (table, probes)
     }
 
@@ -56,14 +62,28 @@ impl CoordHashMap {
     pub fn slot_count(&self) -> usize {
         self.slots.len()
     }
-}
 
-impl CoordTable for CoordHashMap {
-    fn insert(&mut self, coord: Coord, index: u32) -> u64 {
-        debug_assert!(
-            self.len < self.slots.len(),
-            "hashmap overfull; construct with the right capacity"
-        );
+    /// How many times the table grew (rehashed) since construction. A
+    /// correctly pre-sized table reports 0; incremental callers that outgrow
+    /// the 0.5 load factor pay a doubling rehash each growth.
+    pub fn growth_count(&self) -> u64 {
+        self.growths
+    }
+
+    /// Doubles the slot array and reinserts every entry.
+    fn grow(&mut self) {
+        let new_slots = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![None; new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        self.growths += 1;
+        for entry in old.into_iter().flatten() {
+            let (coord, index) = entry;
+            self.insert_inner(coord, index);
+        }
+    }
+
+    fn insert_inner(&mut self, coord: Coord, index: u32) -> u64 {
         let mut slot = (coord.fnv1a() as usize) & self.mask;
         let mut probes = 0;
         loop {
@@ -83,6 +103,18 @@ impl CoordTable for CoordHashMap {
                 }
             }
         }
+    }
+}
+
+impl CoordTable for CoordHashMap {
+    fn insert(&mut self, coord: Coord, index: u32) -> u64 {
+        // Keep the load factor at or below 0.5: grow before the insert that
+        // would exceed it, so probe chains stay short and insertion can
+        // never cycle on a full table.
+        if (self.len + 1) * Self::LOAD_FACTOR_INV > self.slots.len() {
+            self.grow();
+        }
+        self.insert_inner(coord, index)
     }
 
     fn query(&self, coord: Coord) -> (Option<u32>, u64) {
@@ -174,6 +206,34 @@ mod tests {
         assert_eq!(table.len(), 2);
         assert_eq!(table.query(Coord::new(0, 1, 1, 1)).0, Some(0));
         assert_eq!(table.query(Coord::new(1, 1, 1, 1)).0, Some(1));
+    }
+
+    #[test]
+    fn presized_build_never_rehashes() {
+        // The mapping path builds tables via `build`, which pre-sizes from
+        // the input coordinate count — no rehash is ever needed.
+        for count in [0, 1, 7, 100, 5000] {
+            let coords: Vec<Coord> = (0..count).map(|i| Coord::new(0, i, -i, i * 2)).collect();
+            let (table, _) = CoordHashMap::build(&coords);
+            assert_eq!(table.growth_count(), 0, "build({count}) rehashed");
+            assert_eq!(table.len(), count as usize);
+        }
+    }
+
+    #[test]
+    fn incremental_overfill_grows_and_stays_correct() {
+        let mut table = CoordHashMap::with_capacity(2);
+        let initial_slots = table.slot_count();
+        for i in 0..100 {
+            table.insert(Coord::new(0, i, 0, 0), i as u32);
+        }
+        assert!(table.growth_count() > 0, "overfilled table must rehash");
+        assert!(table.slot_count() > initial_slots);
+        // Load factor invariant holds after growth.
+        assert!(table.len() * 2 <= table.slot_count());
+        for i in 0..100 {
+            assert_eq!(table.query(Coord::new(0, i, 0, 0)).0, Some(i as u32));
+        }
     }
 
     #[test]

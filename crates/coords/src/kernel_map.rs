@@ -9,6 +9,7 @@
 use crate::offsets::{self, kernel_offsets};
 use crate::table::{CoordTable, MappingStats};
 use crate::{Coord, CoordsError};
+use torchsparse_runtime::{Task, ThreadPool};
 
 /// One input→output pair of a kernel map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,23 +150,61 @@ pub fn search_dilated(
     stride: i32,
     dilation: i32,
 ) -> Result<KernelMap, CoordsError> {
+    search_dilated_on(ThreadPool::global(), out_coords, table, kernel_size, stride, dilation)
+}
+
+/// [`search_dilated`] on an explicit runtime pool.
+///
+/// Parallelism is per kernel offset: each of the `K^3` offsets scans every
+/// output coordinate and probes the (shared, read-only) table, writing its
+/// own entry list. Within an offset the scan order is output-index
+/// ascending — identical to the serial engine — so entry lists, their
+/// ordering, and the access statistics are bitwise independent of the pool
+/// width.
+///
+/// # Errors
+///
+/// As [`search_dilated`].
+pub fn search_dilated_on(
+    pool: &ThreadPool,
+    out_coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+    stride: i32,
+    dilation: i32,
+) -> Result<KernelMap, CoordsError> {
     if stride == 0 || dilation == 0 {
         return Err(CoordsError::ZeroStride);
     }
     let offs = kernel_offsets(kernel_size)?;
     let mut per_offset = vec![Vec::new(); offs.len()];
+    // Per-offset (reads, writes) counters, folded after the batch so the
+    // totals do not depend on task completion order.
+    let mut access = vec![(0u64, 0u64); offs.len()];
+    let tasks: Vec<Task<'_>> = per_offset
+        .iter_mut()
+        .zip(access.iter_mut())
+        .zip(offs.iter())
+        .map(|((entries, acc), &d)| {
+            Box::new(move || {
+                let delta = [d[0] * dilation, d[1] * dilation, d[2] * dilation];
+                for (k, q) in out_coords.iter().enumerate() {
+                    let r = q.scaled(stride).offset(delta);
+                    let (found, probes) = table.query(r);
+                    acc.0 += probes;
+                    if let Some(j) = found {
+                        entries.push(MapEntry { input: j, output: k as u32 });
+                        acc.1 += 1; // append the map entry
+                    }
+                }
+            }) as Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
     let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };
-    for (k, q) in out_coords.iter().enumerate() {
-        let base = q.scaled(stride);
-        for (n, &d) in offs.iter().enumerate() {
-            let r = base.offset([d[0] * dilation, d[1] * dilation, d[2] * dilation]);
-            let (found, probes) = table.query(r);
-            stats.reads += probes;
-            if let Some(j) = found {
-                per_offset[n].push(MapEntry { input: j, output: k as u32 });
-                stats.writes += 1; // append the map entry
-            }
-        }
+    for (reads, writes) in access {
+        stats.reads += reads;
+        stats.writes += writes;
     }
     KernelMap::from_parts(kernel_size, stride, per_offset, stats)
 }
@@ -207,6 +246,26 @@ pub fn search_submanifold_symmetric_dilated(
     kernel_size: usize,
     dilation: i32,
 ) -> Result<KernelMap, CoordsError> {
+    search_submanifold_symmetric_dilated_on(ThreadPool::global(), coords, table, kernel_size, dilation)
+}
+
+/// [`search_submanifold_symmetric_dilated`] on an explicit runtime pool.
+///
+/// Each task owns one offset `n < center` *and* its mirror `K^3 - 1 - n`:
+/// the pair shares a single coordinate scan (the symmetry trick), and the
+/// two entry lists a task writes are disjoint from every other task's, so
+/// per-offset output is bitwise independent of the pool width.
+///
+/// # Errors
+///
+/// As [`search_submanifold_symmetric_dilated`].
+pub fn search_submanifold_symmetric_dilated_on(
+    pool: &ThreadPool,
+    coords: &[Coord],
+    table: &dyn CoordTable,
+    kernel_size: usize,
+    dilation: i32,
+) -> Result<KernelMap, CoordsError> {
     if kernel_size == 0 {
         return Err(CoordsError::ZeroKernelSize);
     }
@@ -220,26 +279,45 @@ pub fn search_submanifold_symmetric_dilated(
     #[allow(clippy::expect_used)]
     let center = offsets::center_index(kernel_size).expect("odd kernel has a center");
     let mut per_offset = vec![Vec::new(); volume];
-    let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };
 
     // Center offset: identity map, no table queries at all.
     per_offset[center] =
         (0..coords.len() as u32).map(|i| MapEntry { input: i, output: i }).collect();
 
-    for n in 0..center {
-        let d = offs[n];
-        let mirror = offsets::mirror_index(kernel_size, n);
-        for (k, q) in coords.iter().enumerate() {
-            let r = q.offset([d[0] * dilation, d[1] * dilation, d[2] * dilation]);
-            let (found, probes) = table.query(r);
-            stats.reads += probes;
-            if let Some(j) = found {
-                per_offset[n].push(MapEntry { input: j, output: k as u32 });
-                // Mirror entry: (q_k, p_j, W_{-δ}) is also a valid map entry.
-                per_offset[mirror].push(MapEntry { input: k as u32, output: j });
-                stats.writes += 2;
-            }
-        }
+    // Pair each searched offset n with its mirror volume-1-n. Splitting at
+    // the center leaves the searched offsets in `low` and (after the center
+    // element itself) their mirrors in `high` in reverse order:
+    // low[n] ↔ high[1..][center - 1 - n].
+    let (low, high) = per_offset.split_at_mut(center);
+    let mut access = vec![(0u64, 0u64); center];
+    let tasks: Vec<Task<'_>> = low
+        .iter_mut()
+        .zip(high[1..].iter_mut().rev())
+        .zip(access.iter_mut())
+        .enumerate()
+        .map(|(n, ((forward, mirrored), acc))| {
+            let d = offs[n];
+            Box::new(move || {
+                let delta = [d[0] * dilation, d[1] * dilation, d[2] * dilation];
+                for (k, q) in coords.iter().enumerate() {
+                    let r = q.offset(delta);
+                    let (found, probes) = table.query(r);
+                    acc.0 += probes;
+                    if let Some(j) = found {
+                        forward.push(MapEntry { input: j, output: k as u32 });
+                        // Mirror entry: (q_k, p_j, W_{-δ}) is also a valid map entry.
+                        mirrored.push(MapEntry { input: k as u32, output: j });
+                        acc.1 += 2;
+                    }
+                }
+            }) as Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+    let mut stats = MappingStats { kernel_launches: 1, ..MappingStats::default() };
+    for (reads, writes) in access {
+        stats.reads += reads;
+        stats.writes += writes;
     }
     KernelMap::from_parts(kernel_size, 1, per_offset, stats)
 }
@@ -412,6 +490,26 @@ mod tests {
         let (table, _) = CoordHashMap::build(&coords);
         assert!(search_dilated(&coords, &table, 3, 1, 0).is_err());
         assert!(search_submanifold_symmetric_dilated(&coords, &table, 3, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_search_identical_to_serial() {
+        // Entry lists, their order, and the access statistics must not
+        // depend on the pool width.
+        let coords = scene();
+        let (table, _) = CoordHashMap::build(&coords);
+        let serial_pool = ThreadPool::new(1);
+        let serial = search_dilated_on(&serial_pool, &coords, &table, 3, 1, 1).unwrap();
+        let serial_sym =
+            search_submanifold_symmetric_dilated_on(&serial_pool, &coords, &table, 3, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let parallel = search_dilated_on(&pool, &coords, &table, 3, 1, 1).unwrap();
+            assert_eq!(serial, parallel, "full search differs at {threads} threads");
+            let parallel_sym =
+                search_submanifold_symmetric_dilated_on(&pool, &coords, &table, 3, 1).unwrap();
+            assert_eq!(serial_sym, parallel_sym, "symmetric search differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl MappingStats {
 /// Queries return the index assigned at insertion (the position of the
 /// coordinate in the input coordinate list) together with the number of
 /// memory probes performed, so callers can attribute cost precisely.
-pub trait CoordTable {
+///
+/// `Sync` is a supertrait because map search shares one immutable table
+/// reference across the runtime pool's worker threads (queries take `&self`
+/// and tables are plain data, so every implementation is trivially `Sync`).
+pub trait CoordTable: Sync {
     /// Inserts a coordinate with its index; returns the number of memory
     /// probes. Inserting a duplicate coordinate is a no-op that keeps the
     /// first index (matching engine semantics where coordinates are unique).

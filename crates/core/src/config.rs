@@ -103,6 +103,13 @@ pub struct OptimizationConfig {
     /// benchmarks measure only kernel cost; deployments facing untrusted
     /// inputs switch to `Reject` or `Sanitize`.
     pub validation: ValidationConfig,
+    /// Host-side worker threads for the execution runtime (map search,
+    /// gather/scatter partitions, GEMM panels). `None` shares the
+    /// process-wide pool, sized by the `TORCHSPARSE_THREADS` environment
+    /// variable or the machine's available parallelism; `Some(1)`
+    /// reproduces the exact serial engine (results are bitwise identical
+    /// at every thread count regardless).
+    pub threads: Option<usize>,
 }
 
 impl OptimizationConfig {
@@ -122,6 +129,7 @@ impl OptimizationConfig {
             grid_cell_limit: 1 << 28,
             skip_center_movement: true,
             validation: ValidationConfig::default(),
+            threads: None,
         }
     }
 
@@ -142,6 +150,7 @@ impl OptimizationConfig {
             grid_cell_limit: 1 << 28,
             skip_center_movement: false,
             validation: ValidationConfig::default(),
+            threads: None,
         }
     }
 

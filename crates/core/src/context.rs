@@ -101,6 +101,11 @@ pub struct Context {
     /// adaptive grouping run with fixed grouping instead. Survives
     /// [`Context::begin_run`] like [`Context::tuned_groups`].
     pub grouping_fallback: bool,
+    /// The execution runtime: shared worker pool (sized by
+    /// `config.threads`) and the workspace arena of recycled feature
+    /// buffers. Survives [`Context::begin_run`] so buffers are reused
+    /// across forward passes, not just across layers.
+    pub runtime: crate::runtime::Runtime,
 }
 
 /// One leaf layer's contribution to a run, captured by the layer profiler.
@@ -129,6 +134,7 @@ impl Context {
     /// Creates a context for a configuration on a device.
     pub fn new(config: OptimizationConfig, device: DeviceProfile) -> Context {
         Context {
+            runtime: crate::runtime::Runtime::new(config.threads),
             mem: MemorySim::new(&device),
             gemm: GemmModel::new(device.clone()),
             timeline: Timeline::new(),

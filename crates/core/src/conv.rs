@@ -1,11 +1,11 @@
 use crate::config::{GroupingStrategy, Precision};
 use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
 use crate::dataflow::{
-    apply_storage_precision, run_fetch_on_demand, run_gather_matmul_scatter, ConvWorkload,
+    apply_storage_precision_owned, run_fetch_on_demand, run_gather_matmul_scatter, ConvWorkload,
 };
 use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
-use crate::mapping::build_layer_mapping_observed;
+use crate::mapping::build_layer_mapping_observed_on;
 use crate::module::Module;
 use crate::{CoreError, SparseTensor};
 use std::sync::Arc;
@@ -242,8 +242,9 @@ impl SparseConv3d {
                 .record(FaultSite::KernelMapCache, "injected cache invalidation; map rebuilt");
         }
         let mapping = {
-            let Context { config, device, faults, degradation, .. } = ctx;
-            build_layer_mapping_observed(
+            let Context { config, device, faults, degradation, runtime, .. } = ctx;
+            build_layer_mapping_observed_on(
+                &runtime.pool(),
                 input.coords(),
                 self.kernel_size,
                 self.stride,
@@ -347,7 +348,11 @@ impl Module for SparseConv3d {
             run_gather_matmul_scatter(&workload, &plan, ctx)
         };
 
-        let mut out_feats = apply_storage_precision(&run_dataflow(ctx)?, ctx.config.precision);
+        let mut out_feats = apply_storage_precision_owned(
+            &ctx.runtime.pool(),
+            run_dataflow(ctx)?,
+            ctx.config.precision,
+        );
         if ctx.config.precision != Precision::Fp32 {
             if !out_feats.is_empty() && ctx.faults.should_fail(FaultSite::Fp16Overflow) {
                 // Simulate a quantized activation saturating to infinity;
@@ -355,7 +360,7 @@ impl Module for SparseConv3d {
                 // overflow.
                 out_feats.as_mut_slice()[0] = f32::INFINITY;
             }
-            if !out_feats.is_finite() {
+            if !out_feats.par_is_finite(&ctx.runtime.pool()) {
                 ctx.degradation.record(
                     FaultSite::Fp16Overflow,
                     "non-finite quantized output; layer re-run in FP32",

@@ -21,7 +21,9 @@
 use crate::config::Precision;
 use crate::context::Context;
 use crate::grouping::GroupPlan;
+use crate::runtime::{Task, ThreadPool};
 use crate::CoreError;
+use torchsparse_coords::kernel_map::MapEntry;
 use torchsparse_coords::KernelMap;
 use torchsparse_gpusim::{AccessMode, ElemWidth, GemmShape, Stage};
 use torchsparse_gpusim::Precision as GemmPrecision;
@@ -88,15 +90,123 @@ fn gemm_precision(p: Precision) -> GemmPrecision {
 ///
 /// Applied at layer boundaries so that numerical results reflect genuine
 /// quantized storage while GEMMs accumulate in FP32 (tensor-core semantics).
-pub fn apply_storage_precision(m: &Matrix, precision: Precision) -> Matrix {
+pub fn apply_storage_precision(pool: &ThreadPool, m: &Matrix, precision: Precision) -> Matrix {
     match precision {
         Precision::Fp32 => m.clone(),
-        Precision::Fp16 => quant::round_trip_f16(m),
+        _ => apply_storage_precision_owned(pool, m.clone(), precision),
+    }
+}
+
+/// [`apply_storage_precision`] consuming its input: FP32 is a true identity
+/// (no copy at all) and the quantized precisions round in place. The conv
+/// layer uses this on the freshly computed output matrix, so the FP32 path
+/// of a forward pass allocates nothing here. The rounding sweep runs on the
+/// worker pool; per-element rounding is independent, so results are bitwise
+/// identical at any thread count.
+pub fn apply_storage_precision_owned(pool: &ThreadPool, mut m: Matrix, precision: Precision) -> Matrix {
+    match precision {
+        Precision::Fp32 => {}
+        Precision::Fp16 => quant::round_trip_f16_in_place_on(pool, &mut m),
         Precision::Int8 => {
             let q = quant::Int8Quantizer::calibrate(m.as_slice());
-            q.round_trip(m)
+            m.par_map_inplace(pool, |v| q.dequantize(q.quantize(v)));
         }
     }
+    m
+}
+
+/// Rows per gather/scatter task. Fixed (never derived from the thread
+/// count) so the partition — and therefore every task's output — is
+/// identical at any pool width.
+const MOVE_CHUNK: usize = 64;
+
+/// Copies `in_feats[entries[i].input] -> f[i]` for all entries, partitioned
+/// into [`MOVE_CHUNK`]-row tasks on the pool. Rows of `f` beyond
+/// `entries.len()` are untouched (callers pre-zero padded buffers).
+fn gather_rows(pool: &ThreadPool, in_feats: &Matrix, entries: &[MapEntry], f: &mut Matrix) {
+    let c_in = in_feats.cols();
+    if entries.is_empty() || c_in == 0 {
+        return;
+    }
+    if (pool.threads() <= 1 && !pool.is_recording()) || entries.len() <= MOVE_CHUNK {
+        for (i, e) in entries.iter().enumerate() {
+            f.row_mut(i).copy_from_slice(in_feats.row(e.input as usize));
+        }
+        return;
+    }
+    let dest = &mut f.as_mut_slice()[..entries.len() * c_in];
+    let tasks: Vec<Task<'_>> = dest
+        .chunks_mut(MOVE_CHUNK * c_in)
+        .zip(entries.chunks(MOVE_CHUNK))
+        .map(|(block, chunk)| {
+            Box::new(move || {
+                for (row, e) in block.chunks_mut(c_in).zip(chunk) {
+                    row.copy_from_slice(in_feats.row(e.input as usize));
+                }
+            }) as Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+}
+
+/// Scatter-accumulates every offset's partial sums into `out` (FP32
+/// accumulation registers).
+///
+/// Serial (`threads == 1`) iterates offset-major exactly like the original
+/// engine. The parallel path partitions *output rows* into fixed
+/// [`MOVE_CHUNK`] blocks and walks each row's producer list in `(offset,
+/// entry)` ascending order — the same per-element accumulation order as the
+/// serial loop — so results are bitwise identical at every pool width:
+/// tasks write disjoint output rows and FP32 addition happens in one fixed
+/// order per element.
+fn scatter_accumulate(pool: &ThreadPool, map: &KernelMap, psums: &[Option<Matrix>], out: &mut Matrix) {
+    let c_out = out.cols();
+    if out.rows() == 0 || c_out == 0 {
+        return;
+    }
+    if pool.threads() <= 1 && !pool.is_recording() {
+        for (n, p) in psums.iter().enumerate() {
+            let Some(p) = p else { continue };
+            for (i, e) in map.entries(n).iter().enumerate() {
+                let dst = out.row_mut(e.output as usize);
+                for (d, s) in dst.iter_mut().zip(p.row(i)) {
+                    *d += s;
+                }
+            }
+        }
+        return;
+    }
+    // Producer index (the transposed map): for each output row, its
+    // (offset, psum-row) sources. Pushed offset-major, entry-ascending, so
+    // each list is already in serial accumulation order.
+    let mut producers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); out.rows()];
+    for (n, p) in psums.iter().enumerate() {
+        if p.is_none() {
+            continue;
+        }
+        for (i, e) in map.entries(n).iter().enumerate() {
+            producers[e.output as usize].push((n as u32, i as u32));
+        }
+    }
+    let producers = &producers;
+    let tasks: Vec<Task<'_>> = out
+        .as_mut_slice()
+        .chunks_mut(MOVE_CHUNK * c_out)
+        .enumerate()
+        .map(|(c, block)| {
+            Box::new(move || {
+                for (r, dst) in block.chunks_mut(c_out).enumerate() {
+                    for &(n, i) in &producers[c * MOVE_CHUNK + r] {
+                        let Some(p) = psums[n as usize].as_ref() else { continue };
+                        for (d, s) in dst.iter_mut().zip(p.row(i as usize)) {
+                            *d += s;
+                        }
+                    }
+                }
+            }) as Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
 }
 
 /// Layout of the simulated buffers of one convolution.
@@ -184,47 +294,74 @@ pub fn run_gather_matmul_scatter(
 ) -> Result<Matrix, CoreError> {
     let m = modes(ctx.config.precision, ctx.config.vectorized);
     let bufs = layout(w, plan, &m, ctx);
+    let pool = ctx.runtime.pool();
     let mut out = Matrix::zeros(w.n_out, w.c_out());
 
     // ---- Real computation (order-independent). -------------------------
     // Gather per-offset feature matrices, run the (b)mm, keep partial sums.
-    // Skipped entirely in simulate-only mode: latency depends on the map
-    // structure, never on feature values.
+    // Gather/psum buffers come from the context's workspace arena and are
+    // returned after the scatter, so steady-state forward passes allocate
+    // no feature buffers. Skipped entirely in simulate-only mode: latency
+    // depends on the map structure, never on feature values.
     let mut psums: Vec<Option<Matrix>> = vec![None; w.map.num_offsets()];
     let run_numerics = !ctx.simulate_only;
     for g in plan.groups.iter().filter(|_| run_numerics) {
         if is_center_shortcut(w, &g.offsets, ctx) {
             // out += in . W_center, rows aligned by the identity map.
-            gemm::mm_accumulate(w.in_feats, &w.weights[g.offsets[0]], &mut out)?;
+            gemm::mm_accumulate_on(&pool, w.in_feats, &w.weights[g.offsets[0]], &mut out)?;
             continue;
         }
-        for &n in &g.offsets {
-            let entries = w.map.entries(n);
-            if entries.is_empty() {
-                continue;
+        let members: Vec<usize> =
+            g.offsets.iter().copied().filter(|&n| !w.map.entries(n).is_empty()).collect();
+        if g.use_bmm && members.len() > 1 {
+            // Grouped bmm (Algorithm 4): gather every member into a padded
+            // workspace buffer, then one batched GEMM whose row panels of
+            // *all* members run as a single task wave — group members are
+            // concurrent, not sequential.
+            let mut gathered: Vec<Matrix> = Vec::with_capacity(members.len());
+            for &n in &members {
+                let mut f = ctx.runtime.workspaces.take(g.padded_rows, w.c_in());
+                gather_rows(&pool, w.in_feats, w.map.entries(n), &mut f);
+                gathered.push(f);
             }
-            let rows = if g.use_bmm { g.padded_rows } else { entries.len() };
-            let mut f = Matrix::zeros(rows, w.c_in());
-            for (i, e) in entries.iter().enumerate() {
-                f.row_mut(i).copy_from_slice(w.in_feats.row(e.input as usize));
+            let mut products: Vec<Matrix> = members
+                .iter()
+                .map(|_| ctx.runtime.workspaces.take(g.padded_rows, w.c_out()))
+                .collect();
+            let a_refs: Vec<&Matrix> = gathered.iter().collect();
+            let b_refs: Vec<&Matrix> = members.iter().map(|&n| &w.weights[n]).collect();
+            gemm::bmm_into_on(&pool, &a_refs, &b_refs, &mut products)?;
+            for f in gathered {
+                ctx.runtime.workspaces.give(f);
             }
-            let mut p = gemm::mm(&f, &w.weights[n])?;
-            if ctx.config.precision != Precision::Fp32 {
-                // Partial sums are stored in 16-bit buffers.
-                p = quant::round_trip_f16(&p);
+            for (&n, mut p) in members.iter().zip(products) {
+                if ctx.config.precision != Precision::Fp32 {
+                    // Partial sums are stored in 16-bit buffers.
+                    quant::round_trip_f16_in_place_on(&pool, &mut p);
+                }
+                psums[n] = Some(p);
             }
-            psums[n] = Some(p);
+        } else {
+            for &n in &members {
+                let entries = w.map.entries(n);
+                let rows = if g.use_bmm { g.padded_rows } else { entries.len() };
+                let mut f = ctx.runtime.workspaces.take(rows, w.c_in());
+                gather_rows(&pool, w.in_feats, entries, &mut f);
+                let mut p = ctx.runtime.workspaces.take(rows, w.c_out());
+                gemm::mm_into_on(&pool, &f, &w.weights[n], &mut p)?;
+                ctx.runtime.workspaces.give(f);
+                if ctx.config.precision != Precision::Fp32 {
+                    // Partial sums are stored in 16-bit buffers.
+                    quant::round_trip_f16_in_place_on(&pool, &mut p);
+                }
+                psums[n] = Some(p);
+            }
         }
     }
     // Scatter-accumulate (FP32 accumulation registers).
-    for (n, p) in psums.iter().enumerate() {
-        let Some(p) = p else { continue };
-        for (i, e) in w.map.entries(n).iter().enumerate() {
-            let dst = out.row_mut(e.output as usize);
-            for (d, s) in dst.iter_mut().zip(p.row(i)) {
-                *d += s;
-            }
-        }
+    scatter_accumulate(&pool, w.map, &psums, &mut out);
+    for p in psums.drain(..).flatten() {
+        ctx.runtime.workspaces.give(p);
     }
 
     // ---- Simulated cost (order faithful to the configured kernels). ----
@@ -456,6 +593,13 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     let mut out = Matrix::zeros(w.n_out, w.c_out());
     let precision = gemm_precision(ctx.config.precision);
     let mut compute = torchsparse_gpusim::Micros::ZERO;
+    let pool = ctx.runtime.pool();
+    // One scratch pair reused across all K^3 neighborhoods (previously a
+    // fresh gather matrix was allocated per offset): reshape keeps the
+    // backing storage whenever capacity suffices, and the buffers return to
+    // the workspace arena afterwards for the next layer or forward pass.
+    let mut scratch = ctx.runtime.workspaces.take(0, w.c_in());
+    let mut psum = ctx.runtime.workspaces.take(0, w.c_out());
 
     for n in 0..w.map.num_offsets() {
         let entries = w.map.entries(n);
@@ -466,14 +610,13 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
             // Real compute: out[k] += in[j] . W_n per entry. Executed as one
             // blocked GEMM over the offset's rows — numerically identical to
             // the per-entry row-by-matrix products of the device kernel.
-            let mut f = Matrix::zeros(entries.len(), w.c_in());
-            for (i, e) in entries.iter().enumerate() {
-                f.row_mut(i).copy_from_slice(w.in_feats.row(e.input as usize));
-            }
-            let p = gemm::mm(&f, &w.weights[n])?;
+            scratch.reshape_zeroed(entries.len(), w.c_in());
+            gather_rows(&pool, w.in_feats, entries, &mut scratch);
+            psum.reshape_zeroed(entries.len(), w.c_out());
+            gemm::mm_into_on(&pool, &scratch, &w.weights[n], &mut psum)?;
             for (i, e) in entries.iter().enumerate() {
                 let dst = out.row_mut(e.output as usize);
-                for (d, s) in dst.iter_mut().zip(p.row(i)) {
+                for (d, s) in dst.iter_mut().zip(psum.row(i)) {
                     *d += s;
                 }
             }
@@ -491,6 +634,8 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
         compute += torchsparse_gpusim::Micros(compute_us + ctx.device.launch_overhead_us);
     }
 
+    ctx.runtime.workspaces.give(scratch);
+    ctx.runtime.workspaces.give(psum);
     let report = ctx.mem.take_report();
     ctx.timeline.add(Stage::Gather, report.latency(&ctx.device));
     ctx.timeline.add(Stage::MatMul, compute);

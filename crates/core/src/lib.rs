@@ -47,6 +47,7 @@ pub mod dataflow;
 pub mod faults;
 pub mod grouping;
 pub mod mapping;
+pub mod runtime;
 pub mod tuning;
 pub mod validate;
 
@@ -61,6 +62,7 @@ pub use faults::{DegradationEvent, DegradationReport, FaultInjector, FaultSite};
 pub use module::{Module, Sequential};
 pub use pointwise::{BatchNorm, GlobalPool, ReLU};
 pub use pooling::{PoolReduction, SparseMaxPool3d};
+pub use runtime::{Runtime, ThreadPool, WorkspacePool};
 pub use sparse_tensor::SparseTensor;
 pub use validate::{ValidationConfig, ValidationPolicy};
 

@@ -16,9 +16,12 @@
 
 use crate::config::{MapSearchStrategy, OptimizationConfig};
 use crate::faults::{DegradationReport, FaultInjector, FaultSite};
+use crate::runtime::ThreadPool;
 use crate::CoreError;
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
-use torchsparse_coords::kernel_map::{search_dilated, search_submanifold_symmetric_dilated};
+use torchsparse_coords::kernel_map::{
+    search_dilated_on, search_submanifold_symmetric_dilated_on,
+};
 use torchsparse_coords::{
     Coord, CoordHashMap, CoordTable, CoordsError, GridTable, KernelMap, MappingStats,
 };
@@ -156,6 +159,40 @@ pub fn build_layer_mapping_observed(
     faults: &mut FaultInjector,
     degradation: &mut DegradationReport,
 ) -> Result<LayerMapping, CoreError> {
+    build_layer_mapping_observed_on(
+        ThreadPool::global(),
+        in_coords,
+        kernel_size,
+        conv_stride,
+        dilation,
+        config,
+        device,
+        faults,
+        degradation,
+    )
+}
+
+/// [`build_layer_mapping_observed`] on an explicit runtime pool: the map
+/// search fans out across kernel offsets on the engine's shared workers
+/// (the engine passes its context pool so `config.threads` governs mapping
+/// too). Table construction stays serial — insertion order defines the
+/// stored indices.
+///
+/// # Errors
+///
+/// As [`build_layer_mapping_observed`].
+#[allow(clippy::too_many_arguments)] // mirrors the engine's disjoint Context borrows
+pub fn build_layer_mapping_observed_on(
+    pool: &ThreadPool,
+    in_coords: &[Coord],
+    kernel_size: usize,
+    conv_stride: i32,
+    dilation: i32,
+    config: &OptimizationConfig,
+    device: &DeviceProfile,
+    faults: &mut FaultInjector,
+    degradation: &mut DegradationReport,
+) -> Result<LayerMapping, CoreError> {
     if in_coords.is_empty() {
         return Err(CoreError::EmptyInput);
     }
@@ -200,9 +237,15 @@ pub fn build_layer_mapping_observed(
         && kernel_size % 2 == 1
         && kernel_size > 1;
     let map = if symmetric {
-        search_submanifold_symmetric_dilated(in_coords, table.as_ref(), kernel_size, dilation)?
+        search_submanifold_symmetric_dilated_on(
+            pool,
+            in_coords,
+            table.as_ref(),
+            kernel_size,
+            dilation,
+        )?
     } else {
-        search_dilated(&out_coords, table.as_ref(), kernel_size, conv_stride, dilation)?
+        search_dilated_on(pool, &out_coords, table.as_ref(), kernel_size, conv_stride, dilation)?
     };
     latency += stats_latency(
         &map.stats,

@@ -85,14 +85,14 @@ impl Module for BatchNorm {
             });
         }
         let profile_start = ctx.start_layer_profile();
+        let pool = ctx.runtime.pool();
         let mut feats = input.feats().clone();
-        for r in 0..feats.rows() {
-            let row = feats.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                *v = *v * self.scale[c] + self.shift[c];
+        feats.par_map_rows_inplace(&pool, |row| {
+            for (v, (s, sh)) in row.iter_mut().zip(self.scale.iter().zip(&self.shift)) {
+                *v = *v * s + sh;
             }
-        }
-        let feats = apply_storage_precision(&feats, ctx.config.precision);
+        });
+        let feats = apply_storage_precision(&pool, &feats, ctx.config.precision);
         charge_pointwise(input.len(), input.channels(), ctx);
         ctx.finish_layer_profile(&self.name, input.len(), profile_start);
         input.with_feats(feats)
@@ -124,7 +124,7 @@ impl Module for ReLU {
     fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
         let profile_start = ctx.start_layer_profile();
         let mut feats = input.feats().clone();
-        feats.map_inplace(|v| v.max(0.0));
+        feats.par_map_inplace(&ctx.runtime.pool(), |v| v.max(0.0));
         charge_pointwise(input.len(), input.channels(), ctx);
         ctx.finish_layer_profile(&self.name, input.len(), profile_start);
         input.with_feats(feats)

@@ -1,27 +1,40 @@
-//! Blocked, multi-threaded single-precision matrix multiplication.
+//! Blocked matrix multiplication dispatched onto the shared runtime pool.
 //!
 //! Sparse convolution lowers to many GEMMs of shape `|map| x Cin x Cout`
 //! (Algorithm 2 of the paper). This module provides:
 //!
-//! - [`mm`]: `C = A * B` with cache-blocked loops, parallelized across row
-//!   panels with `std::thread::scope` (no unsafe, no global thread pool).
-//! - [`mm_accumulate`]: `C += A * B`, the scatter-accumulate-friendly variant.
-//! - [`bmm`]: batched GEMM over equal-shaped matrices, mirroring cuBLAS
-//!   `gemmStridedBatched` as used by the paper's grouped matmul (§4.2).
+//! - [`mm`] / [`mm_on`]: `C = A * B` with cache-blocked loops, partitioned
+//!   into row panels executed on a persistent [`ThreadPool`] — no per-call
+//!   thread spawning (the pre-runtime engine paid a `thread::scope` spawn
+//!   per GEMM call).
+//! - [`mm_accumulate`] / [`mm_accumulate_on`]: `C += A * B`, the
+//!   scatter-accumulate-friendly variant.
+//! - [`bmm`] / [`bmm_on`] / [`bmm_into_on`]: batched GEMM over equal-shaped
+//!   matrices, mirroring cuBLAS `gemmStridedBatched` as used by the paper's
+//!   grouped matmul (§4.2). The batched form flattens *every member's row
+//!   panels into one task wave*, so group members of Algorithm 5 run
+//!   concurrently instead of sequentially.
 //!
 //! All variants produce bitwise-identical results to the naive triple loop
-//! (same accumulation order within each output element), which the tests
-//! verify — determinism matters because the sparse engine's property tests
-//! compare dataflows for exact equality.
+//! (same accumulation order within each output element) for every thread
+//! count — the panel partition is fixed by [`PANEL`], never by the lane
+//! count, so scheduling cannot change the arithmetic. The tests and the
+//! root crate's parallel-determinism property tests verify this.
 
 use crate::{Matrix, TensorError};
+use torchsparse_runtime::{Task, ThreadPool};
 
 /// Row-panel size for parallel partitioning.
 const PANEL: usize = 64;
 /// Cache block size along the reduction (k) dimension.
 const KBLOCK: usize = 256;
+/// Below this flop count a GEMM is executed inline: queueing tasks costs
+/// more than the arithmetic. Dispatching a task costs on the order of a
+/// few microseconds; this bound keeps inline only the GEMMs whose whole
+/// runtime is comparable to that.
+const MIN_PARALLEL_FLOPS: f64 = 2.5e5;
 
-/// Computes `A * B`.
+/// Computes `A * B` on the global runtime pool.
 ///
 /// # Errors
 ///
@@ -41,83 +54,120 @@ const KBLOCK: usize = 256;
 /// # }
 /// ```
 pub fn mm(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    mm_on(ThreadPool::global(), a, b)
+}
+
+/// Computes `A * B` on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `A.cols() != B.rows()`.
+pub fn mm_on(pool: &ThreadPool, a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
     let mut c = Matrix::zeros(a.rows(), b.cols());
-    mm_into(a, b, &mut c)?;
+    mm_into_on(pool, a, b, &mut c)?;
     Ok(c)
 }
 
-/// Computes `C += A * B` into an existing accumulator.
+/// Computes `C += A * B` into an existing accumulator on the global pool.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions disagree
 /// or `C` has the wrong shape.
 pub fn mm_accumulate(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
-    mm_into(a, b, c)
+    mm_into_on(ThreadPool::global(), a, b, c)
 }
 
-fn mm_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
+/// [`mm_accumulate`] on an explicit pool.
+///
+/// # Errors
+///
+/// As [`mm_accumulate`].
+pub fn mm_accumulate_on(
+    pool: &ThreadPool,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+) -> Result<(), TensorError> {
+    mm_into_on(pool, a, b, c)
+}
+
+/// Computes one row panel of `C += A * B`.
+///
+/// `c_panel` is the panel's slice of C starting at row `row0`; the k-blocked
+/// loop order is identical for every caller, which is what keeps results
+/// bitwise reproducible across partitionings and thread counts.
+fn compute_panel(a_data: &[f32], b_data: &[f32], k: usize, n: usize, row0: usize, c_panel: &mut [f32]) {
+    let rows_here = c_panel.len() / n;
+    for kb in (0..k).step_by(KBLOCK) {
+        let k_end = (kb + KBLOCK).min(k);
+        for r in 0..rows_here {
+            let a_row = &a_data[(row0 + r) * k..(row0 + r) * k + k];
+            let c_row = &mut c_panel[r * n..(r + 1) * n];
+            for kk in kb..k_end {
+                let aval = a_row[kk];
+                if aval == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+fn check_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), TensorError> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: b.shape() });
     }
     if c.shape() != (a.rows(), b.cols()) {
         return Err(TensorError::ShapeMismatch { op: "mm_out", lhs: c.shape(), rhs: (a.rows(), b.cols()) });
     }
+    Ok(())
+}
+
+/// `C += A * B` with panels dispatched onto `pool`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+pub fn mm_into_on(
+    pool: &ThreadPool,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+) -> Result<(), TensorError> {
+    check_shapes(a, b, c)?;
     let (m, k) = a.shape();
     let n = b.cols();
     if m == 0 || n == 0 || k == 0 {
         return Ok(());
     }
-
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let c_data = c.as_mut_slice();
 
-    // Partition C into row panels; each panel is an independent task.
-    let panels: Vec<(usize, &mut [f32])> = c_data
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    if pool.threads() <= 1 && !pool.is_recording() || flops < MIN_PARALLEL_FLOPS || m <= PANEL {
+        for (i, panel) in c_data.chunks_mut(PANEL * n).enumerate() {
+            compute_panel(a_data, b_data, k, n, i * PANEL, panel);
+        }
+        return Ok(());
+    }
+    let tasks: Vec<Task<'_>> = c_data
         .chunks_mut(PANEL * n)
         .enumerate()
-        .map(|(i, chunk)| (i * PANEL, chunk))
+        .map(|(i, panel)| {
+            Box::new(move || compute_panel(a_data, b_data, k, n, i * PANEL, panel)) as Task<'_>
+        })
         .collect();
-
-    let work = |row0: usize, c_panel: &mut [f32]| {
-        let rows_here = c_panel.len() / n;
-        for kb in (0..k).step_by(KBLOCK) {
-            let k_end = (kb + KBLOCK).min(k);
-            for r in 0..rows_here {
-                let a_row = &a_data[(row0 + r) * k..(row0 + r) * k + k];
-                let c_row = &mut c_panel[r * n..(r + 1) * n];
-                for kk in kb..k_end {
-                    let aval = a_row[kk];
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_data[kk * n..(kk + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aval * bv;
-                    }
-                }
-            }
-        }
-    };
-
-    // Only spawn threads when the work is large enough to amortize them.
-    let flops = 2.0 * m as f64 * n as f64 * k as f64;
-    if flops < 2e6 || panels.len() == 1 {
-        for (row0, panel) in panels {
-            work(row0, panel);
-        }
-    } else {
-        std::thread::scope(|s| {
-            for (row0, panel) in panels {
-                s.spawn(move || work(row0, panel));
-            }
-        });
-    }
+    pool.run(tasks);
     Ok(())
 }
 
-/// Batched matrix multiplication: `C[i] = A[i] * B[i]` for every `i`.
+/// Batched matrix multiplication: `C[i] = A[i] * B[i]` on the global pool.
 ///
 /// All `A[i]` must share one shape and all `B[i]` another (the cuBLAS
 /// strided-batched contract). The paper's grouped matmul pads per-weight
@@ -130,11 +180,53 @@ fn mm_into(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), TensorError> {
 /// [`TensorError::ShapeMismatch`] if any matrix deviates from its batch shape
 /// or the inner dimensions disagree.
 pub fn bmm(a: &[Matrix], b: &[Matrix]) -> Result<Vec<Matrix>, TensorError> {
+    bmm_on(ThreadPool::global(), a, b)
+}
+
+/// [`bmm`] on an explicit pool.
+///
+/// # Errors
+///
+/// As [`bmm`].
+pub fn bmm_on(pool: &ThreadPool, a: &[Matrix], b: &[Matrix]) -> Result<Vec<Matrix>, TensorError> {
     if a.len() != b.len() {
         return Err(TensorError::BatchMismatch { lhs: a.len(), rhs: b.len() });
     }
     if a.is_empty() {
         return Ok(Vec::new());
+    }
+    let mut out: Vec<Matrix> =
+        a.iter().map(|ai| Matrix::zeros(ai.rows(), b[0].cols())).collect();
+    let a_refs: Vec<&Matrix> = a.iter().collect();
+    let b_refs: Vec<&Matrix> = b.iter().collect();
+    bmm_into_on(pool, &a_refs, &b_refs, &mut out)?;
+    Ok(out)
+}
+
+/// Batched GEMM into caller-provided outputs, with the row panels of *all*
+/// batch members flattened into a single task wave.
+///
+/// This is the runtime's grouped-matmul primitive: a bmm group from
+/// Algorithm 5 hands its per-offset gather buffers (typically recycled
+/// workspace matrices) and receives every member's partial sums computed
+/// concurrently — one wave, no barrier between members.
+///
+/// # Errors
+///
+/// Returns [`TensorError::BatchMismatch`] if the slice lengths differ and
+/// [`TensorError::ShapeMismatch`] if any matrix deviates from its batch
+/// shape, an output has the wrong shape, or inner dimensions disagree.
+pub fn bmm_into_on(
+    pool: &ThreadPool,
+    a: &[&Matrix],
+    b: &[&Matrix],
+    out: &mut [Matrix],
+) -> Result<(), TensorError> {
+    if a.len() != b.len() || a.len() != out.len() {
+        return Err(TensorError::BatchMismatch { lhs: a.len(), rhs: b.len().min(out.len()) });
+    }
+    if a.is_empty() {
+        return Ok(());
     }
     let a_shape = a[0].shape();
     let b_shape = b[0].shape();
@@ -148,7 +240,34 @@ pub fn bmm(a: &[Matrix], b: &[Matrix]) -> Result<Vec<Matrix>, TensorError> {
             return Err(TensorError::ShapeMismatch { op: "bmm_rhs", lhs: b_shape, rhs: m.shape() });
         }
     }
-    a.iter().zip(b).map(|(x, w)| mm(x, w)).collect()
+    for (ai, ci) in a.iter().zip(out.iter()) {
+        check_shapes(ai, b[0], ci)?;
+    }
+    let (m, k) = a_shape;
+    let n = b_shape.1;
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let batch_flops = 2.0 * (a.len() * m) as f64 * n as f64 * k as f64;
+    if pool.threads() <= 1 && !pool.is_recording() || batch_flops < MIN_PARALLEL_FLOPS {
+        for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
+            for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
+                compute_panel(ai.as_slice(), bi.as_slice(), k, n, p * PANEL, panel);
+            }
+        }
+        return Ok(());
+    }
+    let mut tasks: Vec<Task<'_>> = Vec::new();
+    for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
+        let a_data = ai.as_slice();
+        let b_data = bi.as_slice();
+        for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
+            tasks.push(Box::new(move || compute_panel(a_data, b_data, k, n, p * PANEL, panel)));
+        }
+    }
+    pool.run(tasks);
+    Ok(())
 }
 
 /// Naive reference GEMM (triple loop) used by tests as the ground truth.
@@ -228,6 +347,25 @@ mod tests {
     }
 
     #[test]
+    fn bitwise_identical_across_pool_widths() {
+        // The partition is fixed by PANEL, not by lane count, so every pool
+        // width computes exactly the same bits.
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, 300, 200);
+        let b = random_matrix(&mut rng, 200, 64);
+        let serial = mm_on(&ThreadPool::new(1), &a, &b).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let parallel = mm_on(&pool, &a, &b).unwrap();
+            assert_eq!(
+                serial.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parallel.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn accumulate_adds_to_existing() {
         let a = Matrix::filled(2, 2, 1.0);
         let b = Matrix::eye(2);
@@ -256,6 +394,16 @@ mod tests {
     }
 
     #[test]
+    fn bmm_parallel_matches_serial_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<Matrix> = (0..6).map(|_| random_matrix(&mut rng, 150, 70)).collect();
+        let b: Vec<Matrix> = (0..6).map(|_| random_matrix(&mut rng, 70, 40)).collect();
+        let serial = bmm_on(&ThreadPool::new(1), &a, &b).unwrap();
+        let parallel = bmm_on(&ThreadPool::new(4), &a, &b).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn bmm_rejects_batch_mismatch() {
         let a = vec![Matrix::zeros(2, 2)];
         let b = vec![Matrix::zeros(2, 2), Matrix::zeros(2, 2)];
@@ -272,6 +420,14 @@ mod tests {
     #[test]
     fn bmm_empty_batch() {
         assert!(bmm(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bmm_into_rejects_bad_out() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = vec![Matrix::zeros(2, 5)];
+        assert!(bmm_into_on(ThreadPool::global(), &[&a], &[&b], &mut out).is_err());
     }
 
     proptest! {

@@ -1,6 +1,14 @@
 use crate::TensorError;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+use torchsparse_runtime::{Task, ThreadPool};
+
+/// Elements per task in the parallel element-wise sweeps
+/// ([`Matrix::par_map_inplace`] and friends). Fixed so the partition never
+/// depends on the worker count — every element is transformed independently,
+/// so results are bitwise identical at any thread count regardless, but a
+/// fixed chunk also keeps task traces comparable across runs.
+const ELEMWISE_CHUNK: usize = 16 * 1024;
 
 /// A row-major `f32` matrix.
 ///
@@ -94,6 +102,25 @@ impl Matrix {
     /// Whether the matrix has zero elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Heap capacity of the underlying buffer, in elements. Workspace
+    /// recycling uses this to pick a buffer that needs no reallocation.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes the matrix to `rows x cols` with all elements zeroed,
+    /// reusing the existing heap buffer when its capacity suffices.
+    ///
+    /// This is the workspace-recycling primitive: a gather/psum buffer taken
+    /// from a pool is resized to the current layer's shape without touching
+    /// the allocator (after warm-up).
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// The underlying row-major buffer.
@@ -216,11 +243,87 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::map_inplace`] with the sweep dispatched onto a worker
+    /// pool in fixed-size element chunks. Element-wise transforms touch
+    /// each element exactly once, so the result is bitwise identical to
+    /// the serial sweep at every thread count.
+    pub fn par_map_inplace(&mut self, pool: &ThreadPool, f: impl Fn(f32) -> f32 + Sync) {
+        if (pool.threads() <= 1 && !pool.is_recording()) || self.data.len() <= ELEMWISE_CHUNK {
+            self.map_inplace(f);
+            return;
+        }
+        let f_ref = &f;
+        let tasks: Vec<Task<'_>> = self
+            .data
+            .chunks_mut(ELEMWISE_CHUNK)
+            .map(|chunk| {
+                Box::new(move || {
+                    for v in chunk {
+                        *v = f_ref(*v);
+                    }
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
+    /// Applies `f` to every row, parallelized over row blocks sized to
+    /// roughly [`ELEMWISE_CHUNK`] elements. Rows are disjoint, so this too
+    /// is bitwise identical to the serial row loop at any thread count.
+    pub fn par_map_rows_inplace(&mut self, pool: &ThreadPool, f: impl Fn(&mut [f32]) + Sync) {
+        if self.cols == 0 || self.data.is_empty() {
+            return;
+        }
+        let cols = self.cols;
+        let rows_per_task = (ELEMWISE_CHUNK / cols).max(1);
+        if (pool.threads() <= 1 && !pool.is_recording()) || self.rows <= rows_per_task {
+            for row in self.data.chunks_mut(cols) {
+                f(row);
+            }
+            return;
+        }
+        let f_ref = &f;
+        let tasks: Vec<Task<'_>> = self
+            .data
+            .chunks_mut(rows_per_task * cols)
+            .map(|block| {
+                Box::new(move || {
+                    for row in block.chunks_mut(cols) {
+                        f_ref(row);
+                    }
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
     /// Whether every element is finite (no NaN or infinity). The engine's
     /// quantized-precision fallback scans layer outputs with this to decide
     /// whether an FP32 re-run is needed; an empty matrix is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// [`Matrix::is_finite`] with the scan fanned out over a worker pool.
+    /// Each chunk reports into its own slot, so the combined answer does
+    /// not depend on task completion order.
+    pub fn par_is_finite(&self, pool: &ThreadPool) -> bool {
+        if (pool.threads() <= 1 && !pool.is_recording()) || self.data.len() <= ELEMWISE_CHUNK {
+            return self.is_finite();
+        }
+        let chunks: Vec<&[f32]> = self.data.chunks(ELEMWISE_CHUNK).collect();
+        let mut flags = vec![true; chunks.len()];
+        let tasks: Vec<Task<'_>> = chunks
+            .into_iter()
+            .zip(flags.iter_mut())
+            .map(|(chunk, flag)| {
+                Box::new(move || {
+                    *flag = chunk.iter().all(|v| v.is_finite());
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        flags.into_iter().all(|b| b)
     }
 
     /// Number of NaN or infinite elements.

@@ -13,6 +13,7 @@
 //! - [`Int8Quantizer`]: symmetric per-tensor INT8 with an f32 scale.
 
 use crate::{Half, Matrix};
+use torchsparse_runtime::ThreadPool;
 
 /// Quantizes an `f32` slice to binary16 storage.
 pub fn quantize_f16(values: &[f32]) -> Vec<Half> {
@@ -33,8 +34,22 @@ pub fn dequantize_f16(values: &[Half]) -> Vec<f32> {
 /// cores do).
 pub fn round_trip_f16(m: &Matrix) -> Matrix {
     let mut out = m.clone();
-    out.map_inplace(|v| Half::from_f32(v).to_f32());
+    round_trip_f16_in_place(&mut out);
     out
+}
+
+/// [`round_trip_f16`] without the copy: rounds every element of `m` to the
+/// nearest binary16 in place. Used by the dataflow on workspace-pooled
+/// partial-sum buffers so FP16 storage simulation allocates nothing.
+pub fn round_trip_f16_in_place(m: &mut Matrix) {
+    m.map_inplace(|v| Half::from_f32(v).to_f32());
+}
+
+/// [`round_trip_f16_in_place`] with the element sweep dispatched onto a
+/// worker pool. The rounding of each element is independent, so the result
+/// is bitwise identical to the serial sweep at every thread count.
+pub fn round_trip_f16_in_place_on(pool: &ThreadPool, m: &mut Matrix) {
+    m.par_map_inplace(pool, |v| Half::from_f32(v).to_f32());
 }
 
 /// Symmetric per-tensor INT8 quantizer.
