@@ -14,10 +14,10 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use torchsparse_core::{Engine, EnginePreset};
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
 use torchsparse_coords::kernel_map::{search, search_submanifold_symmetric};
 use torchsparse_coords::{Coord, CoordHashMap, GridTable};
+use torchsparse_core::{Engine, EnginePreset};
 use torchsparse_data::SyntheticDataset;
 use torchsparse_gpusim::DeviceProfile;
 use torchsparse_models::MinkUNet;
@@ -87,9 +87,7 @@ fn bench_downsample() {
 fn bench_gemm() {
     let a = Matrix::from_fn(2048, 64, |r, cc| ((r * 31 + cc * 17) % 97) as f32 / 97.0);
     let w = Matrix::from_fn(64, 64, |r, cc| ((r * 13 + cc * 7) % 89) as f32 / 89.0);
-    bench("gemm", "mm_2048x64x64", 3, 30, || {
-        gemm::mm(black_box(&a), black_box(&w)).expect("mm")
-    });
+    bench("gemm", "mm_2048x64x64", 3, 30, || gemm::mm(black_box(&a), black_box(&w)).expect("mm"));
     let batch_a: Vec<Matrix> = (0..8).map(|_| a.clone()).collect();
     let batch_w: Vec<Matrix> = (0..8).map(|_| w.clone()).collect();
     bench("gemm", "bmm_8x2048x64x64", 3, 30, || {

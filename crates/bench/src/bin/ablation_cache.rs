@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        fmt::table(
-            &["L2 capacity", "weight-stationary", "locality-aware", "speedup"],
-            &rows
-        )
+        fmt::table(&["L2 capacity", "weight-stationary", "locality-aware", "speedup"], &rows)
     );
     println!("Expected shape: the advantage is largest when the cache is scarce and");
     println!("flattens once the weight-stationary working set fits — but a floor");

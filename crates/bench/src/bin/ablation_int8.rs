@@ -22,11 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rows = Vec::new();
     let mut base: Option<(f64, f64, f64)> = None;
-    for (label, precision) in [
-        ("FP32", Precision::Fp32),
-        ("FP16", Precision::Fp16),
-        ("INT8", Precision::Int8),
-    ] {
+    for (label, precision) in
+        [("FP32", Precision::Fp32), ("FP16", Precision::Fp16), ("INT8", Precision::Int8)]
+    {
         let mut cfg = EnginePreset::TorchSparse.config();
         cfg.precision = precision;
         let mut engine = Engine::with_config(cfg, DeviceProfile::rtx_2080ti());

@@ -16,11 +16,8 @@ use torchsparse_models::BenchmarkModel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = BenchArgs::parse(0.5, 1);
     let absolute = args.has_flag("--absolute");
-    let device_filter: Option<String> = args
-        .rest
-        .iter()
-        .position(|a| a == "--device")
-        .and_then(|i| args.rest.get(i + 1).cloned());
+    let device_filter: Option<String> =
+        args.rest.iter().position(|a| a == "--device").and_then(|i| args.rest.get(i + 1).cloned());
 
     println!(
         "== Figure {}: end-to-end {} (scale {}, {} scenes/config) ==\n",
@@ -31,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let systems = EnginePreset::figure11_systems();
-    let mut geo: Vec<(EnginePreset, Vec<f64>)> =
-        systems.iter().map(|&s| (s, Vec::new())).collect();
+    let mut geo: Vec<(EnginePreset, Vec<f64>)> = systems.iter().map(|&s| (s, Vec::new())).collect();
 
     for device in DeviceProfile::evaluation_devices() {
         if let Some(f) = &device_filter {
@@ -61,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut row = vec![bm.name().to_owned(), format!("{}", inputs[0].len())];
             for (i, &preset) in systems.iter().enumerate() {
                 let value = if absolute { fps[i] } else { fps[i] / ts_fps };
-                row.push(if absolute {
-                    format!("{value:.1}")
-                } else {
-                    format!("{value:.2}")
-                });
+                row.push(if absolute { format!("{value:.1}") } else { format!("{value:.2}") });
                 if preset != EnginePreset::TorchSparse {
                     geo.iter_mut()
                         .find(|(p, _)| *p == preset)

@@ -51,10 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", fmt::table(&["offset", "map size", ""], &rows));
         }
 
-        let (epsilon, s_threshold) = engine
-            .context()
-            .tuned_for(&submanifold.name)
-            .expect("layer tuned above");
+        let (epsilon, s_threshold) =
+            engine.context().tuned_for(&submanifold.name).expect("layer tuned above");
         let strategy = GroupingStrategy::Adaptive { epsilon, s_threshold };
         let plan = plan_groups(&submanifold.map_sizes, true, strategy);
         println!(

@@ -13,9 +13,7 @@
 #![allow(clippy::type_complexity)]
 
 use torchsparse_bench::{build_model, dataset_for, fmt, measure, scenes, BenchArgs};
-use torchsparse_core::{
-    DeviceProfile, Engine, MapSearchStrategy, OptimizationConfig,
-};
+use torchsparse_core::{DeviceProfile, Engine, MapSearchStrategy, OptimizationConfig};
 use torchsparse_gpusim::Stage;
 use torchsparse_models::BenchmarkModel;
 

@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt::bar(us, total, 40),
             ]);
         }
-        rows.push(vec!["total".to_owned(), format!("{total:.1} us"), "100%".to_owned(), String::new()]);
+        rows.push(vec![
+            "total".to_owned(),
+            format!("{total:.1} us"),
+            "100%".to_owned(),
+            String::new(),
+        ]);
         println!("{}", fmt::table(&["stage", "latency", "share", ""], &rows));
     }
 

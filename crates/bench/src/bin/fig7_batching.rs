@@ -68,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 total += gemm.latency(GemmShape::mm(chunk[0], c_in, c_out), Precision::Fp16);
             } else {
                 let padded = *chunk.iter().max().expect("non-empty chunk");
-                total += gemm
-                    .latency(GemmShape::bmm(chunk.len(), padded, c_in, c_out), Precision::Fp16);
+                total +=
+                    gemm.latency(GemmShape::bmm(chunk.len(), padded, c_in, c_out), Precision::Fp16);
             }
         }
         total

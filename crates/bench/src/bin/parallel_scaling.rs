@@ -71,10 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bits: Vec<u32> = out.feats().as_slice().iter().map(|v| v.to_bits()).collect();
         match &reference_bits {
             None => reference_bits = Some(bits),
-            Some(r) => assert_eq!(
-                r, &bits,
-                "outputs must be bitwise identical at {threads} threads"
-            ),
+            Some(r) => {
+                assert_eq!(r, &bits, "outputs must be bitwise identical at {threads} threads")
+            }
         }
         if threads == 1 {
             workspace_fresh = engine.context().runtime.workspaces.fresh_allocations;
@@ -108,11 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_wall = measured[0].1;
     let mut rows = Vec::new();
     for &(threads, wall) in &measured {
-        let modeled_speedup = modeled
-            .iter()
-            .find(|(l, _, _)| *l == threads)
-            .map(|(_, _, s)| *s)
-            .unwrap_or(1.0);
+        let modeled_speedup =
+            modeled.iter().find(|(l, _, _)| *l == threads).map(|(_, _, s)| *s).unwrap_or(1.0);
         rows.push(vec![
             threads.to_string(),
             format!("{:.1}", wall * 1e3),

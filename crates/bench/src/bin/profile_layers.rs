@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}%", 100.0 * p.timeline.total().as_f64() / total),
         ]);
     }
-    println!(
-        "{}",
-        fmt::table(&["layer", "points", "total", "matmul", "movement", "share"], &rows)
-    );
+    println!("{}", fmt::table(&["layer", "points", "total", "matmul", "movement", "share"], &rows));
     println!("{} layers profiled, {:.2} ms total", profiles.len(), total / 1e3);
     Ok(())
 }

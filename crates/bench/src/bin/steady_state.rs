@@ -1,0 +1,147 @@
+//! Steady-state streaming benchmark: dynamic vs compiled execution.
+//!
+//! Replays a geometry-static nuScenes stream (identical coordinates,
+//! jittered features — the multi-frame fused LiDAR workload) through the
+//! same MinkUNet twice: once dynamically, re-deriving kernel maps and
+//! grouping plans every frame, and once through a
+//! [`CompiledSession`](torchsparse_core::CompiledSession) that planned once
+//! at compile time. Asserts bitwise-identical outputs per frame and writes
+//! the per-frame latency series to `BENCH_compiled.json`.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin steady_state
+//! [--scale F] [--scenes N] [--seed N] [--out PATH]`
+//! (`--scenes` is the number of streamed frames.)
+
+use torchsparse_bench::{build_model, dataset_for, fmt, BenchArgs};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset};
+use torchsparse_data::geometry_static_stream;
+use torchsparse_gpusim::Stage;
+use torchsparse_models::BenchmarkModel;
+
+const JITTER: f32 = 0.02;
+
+fn engine() -> Engine {
+    Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.02, 20);
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_compiled.json".to_owned());
+
+    let bm = BenchmarkModel::MinkUNetNuScenes1;
+    let ds = dataset_for(bm, args.scale);
+    let base = ds.scene(args.seed)?;
+    let frames = geometry_static_stream(&base, args.scenes, JITTER, args.seed)?;
+    let model = build_model(bm, args.seed);
+
+    println!(
+        "== Steady-state streaming: {} (scale {}, {} frames, {} points) ==\n",
+        bm.name(),
+        args.scale,
+        frames.len(),
+        base.len()
+    );
+
+    // Dynamic path: full plan + execute every frame.
+    let mut dynamic = engine();
+    let mut dyn_ms = Vec::with_capacity(frames.len());
+    let mut dyn_mapping_ms = Vec::with_capacity(frames.len());
+    let mut dyn_bits: Vec<Vec<u32>> = Vec::with_capacity(frames.len());
+    for frame in &frames {
+        let y = dynamic.run(model.as_ref(), frame)?;
+        dyn_ms.push(dynamic.last_latency().as_f64() / 1e3);
+        dyn_mapping_ms.push(dynamic.last_timeline().stage(Stage::Mapping).as_f64() / 1e3);
+        dyn_bits.push(y.feats().as_slice().iter().map(|v| v.to_bits()).collect());
+    }
+
+    // Compiled path: plan once against frame 0's geometry, then stream.
+    let mut session = engine().compile(model.as_ref(), &frames[0])?;
+    let planning_ms = session.planning_timeline().total().as_f64() / 1e3;
+    let mut ses_ms = Vec::with_capacity(frames.len());
+    for (i, frame) in frames.iter().enumerate() {
+        let y = session.execute(frame)?;
+        ses_ms.push(session.last_latency().as_f64() / 1e3);
+        let bits: Vec<u32> = y.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            dyn_bits[i], bits,
+            "frame {i}: compiled output must be bitwise identical to dynamic"
+        );
+        assert_eq!(
+            session.last_timeline().stage(Stage::Mapping).as_f64(),
+            0.0,
+            "frame {i}: a plan hit must not rebuild maps"
+        );
+        assert!(
+            ses_ms[i] < dyn_ms[i],
+            "frame {i}: compiled {:.3} ms must beat dynamic {:.3} ms",
+            ses_ms[i],
+            dyn_ms[i]
+        );
+    }
+    let stats = session.stats();
+    assert_eq!(stats.hits, frames.len() as u64, "every streamed frame must hit the plan");
+    assert_eq!(stats.invalidations, 0);
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let dyn_mean = mean(&dyn_ms);
+    let ses_mean = mean(&ses_ms);
+    let mapping_mean = mean(&dyn_mapping_ms);
+    let speedup = dyn_mean / ses_mean;
+
+    let mut rows = Vec::new();
+    for i in 0..frames.len() {
+        rows.push(vec![
+            i.to_string(),
+            format!("{:.3}", dyn_ms[i]),
+            format!("{:.3}", dyn_mapping_ms[i]),
+            format!("{:.3}", ses_ms[i]),
+            fmt::speedup(dyn_ms[i] / ses_ms[i]),
+        ]);
+    }
+    println!(
+        "{}",
+        fmt::table(&["frame", "dynamic ms", "dyn mapping ms", "compiled ms", "speedup"], &rows)
+    );
+    println!(
+        "planning (once): {planning_ms:.3} ms | steady-state mean: dynamic {dyn_mean:.3} ms, \
+         compiled {ses_mean:.3} ms ({speedup:.2}x) | mapping amortized: {mapping_mean:.3} ms/frame"
+    );
+    println!(
+        "plan cache: {} hits, {} misses, {} invalidations over {} frames",
+        stats.hits,
+        stats.misses,
+        stats.invalidations,
+        frames.len()
+    );
+
+    let series = |v: &[f64]| v.iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", ");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", bm.name()));
+    json.push_str(&format!("  \"scale\": {},\n", args.scale));
+    json.push_str(&format!("  \"frames\": {},\n", frames.len()));
+    json.push_str(&format!("  \"points\": {},\n", base.len()));
+    json.push_str(&format!("  \"feature_jitter\": {JITTER},\n"));
+    json.push_str("  \"bitwise_identical_per_frame\": true,\n");
+    json.push_str(&format!("  \"planning_ms\": {planning_ms:.4},\n"));
+    json.push_str(&format!("  \"dynamic_ms\": [{}],\n", series(&dyn_ms)));
+    json.push_str(&format!("  \"dynamic_mapping_ms\": [{}],\n", series(&dyn_mapping_ms)));
+    json.push_str(&format!("  \"compiled_ms\": [{}],\n", series(&ses_ms)));
+    json.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}},\n",
+        stats.hits, stats.misses, stats.invalidations
+    ));
+    json.push_str(&format!("  \"dynamic_mean_ms\": {dyn_mean:.4},\n"));
+    json.push_str(&format!("  \"compiled_mean_ms\": {ses_mean:.4},\n"));
+    json.push_str(&format!("  \"amortized_mapping_ms_per_frame\": {mapping_mean:.4},\n"));
+    json.push_str(&format!("  \"steady_state_speedup\": {speedup:.4}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}

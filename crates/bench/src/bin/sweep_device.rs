@@ -59,10 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        fmt::table(
-            &["model", "base latency", "2x bandwidth", "2x FLOPs", "2x L2"],
-            &rows
-        )
+        fmt::table(&["model", "base latency", "2x bandwidth", "2x FLOPs", "2x L2"], &rows)
     );
     println!("Expected shape: bandwidth elasticity exceeds FLOPs elasticity on the");
     println!("movement-heavy detector; the host-overhead floor caps all three.");

@@ -18,9 +18,9 @@
 
 use std::collections::HashMap;
 use torchsparse_bench::{build_model, dataset_for, fmt, scenes, BenchArgs};
-use torchsparse_core::LayerWorkload;
 use torchsparse_core::grouping::plan_groups;
 use torchsparse_core::tuning::{grouped_matmul_latency, tune_engine};
+use torchsparse_core::LayerWorkload;
 use torchsparse_core::{DeviceProfile, Engine, EnginePreset, GroupingStrategy, Precision};
 use torchsparse_gpusim::GemmModel;
 use torchsparse_models::BenchmarkModel;
@@ -65,11 +65,7 @@ fn evaluate(exec: &Config, opt: &Config) -> (f64, f64) {
     let mut total_us = 0.0;
     let mut total_flops = 0.0;
     for w in &exec.workloads {
-        let (epsilon, s_threshold) = opt
-            .tuned
-            .get(&w.name)
-            .copied()
-            .unwrap_or((0.3, 150_000));
+        let (epsilon, s_threshold) = opt.tuned.get(&w.name).copied().unwrap_or((0.3, 150_000));
         let strategy = GroupingStrategy::Adaptive { epsilon, s_threshold };
         total_us += grouped_matmul_latency(w, strategy, &gemm, Precision::Fp16).as_f64();
         let plan = plan_groups(&w.map_sizes, w.submanifold, strategy);
@@ -94,10 +90,7 @@ fn print_matrix(title: &str, a: &Config, b: &Config) {
     }
     let h_a = format!("optimized for {}", a.label);
     let h_b = format!("optimized for {}", b.label);
-    println!(
-        "{}",
-        fmt::table(&["", h_a.as_str(), h_b.as_str(), "latency check"], &rows)
-    );
+    println!("{}", fmt::table(&["", h_a.as_str(), h_b.as_str(), "latency check"], &rows));
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -112,12 +105,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &args,
         "SemanticKITTI",
     )?;
-    let ns = prepare(
-        BenchmarkModel::MinkUNetNuScenes1,
-        DeviceProfile::rtx_2080ti(),
-        &args,
-        "nuScenes",
-    )?;
+    let ns =
+        prepare(BenchmarkModel::MinkUNetNuScenes1, DeviceProfile::rtx_2080ti(), &args, "nuScenes")?;
     print_matrix("(a) dataset specialization (MinkUNet, RTX 2080Ti)", &sk, &ns);
 
     // (b) Models: MinkUNet 1.0x vs 0.5x on SK, RTX 2080Ti.

@@ -16,9 +16,7 @@
 use torchsparse_bench::{build_model, dataset_for, fmt, geomean, scenes, BenchArgs};
 use torchsparse_core::grouping::plan_groups;
 use torchsparse_core::tuning::{grouped_matmul_latency, tune_engine};
-use torchsparse_core::{
-    DeviceProfile, Engine, EnginePreset, GroupingStrategy, Precision,
-};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset, GroupingStrategy, Precision};
 use torchsparse_gpusim::GemmModel;
 use torchsparse_models::BenchmarkModel;
 
@@ -68,8 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut total_flops = 0.0;
             for w in &workloads {
                 let strategy = strat_for(&w.name);
-                total_us +=
-                    grouped_matmul_latency(w, strategy, &gemm, Precision::Fp16).as_f64();
+                total_us += grouped_matmul_latency(w, strategy, &gemm, Precision::Fp16).as_f64();
                 let plan = plan_groups(&w.map_sizes, w.submanifold, strategy);
                 total_flops +=
                     plan.executed_rows(&w.map_sizes) as f64 * 2.0 * w.c_in as f64 * w.c_out as f64;

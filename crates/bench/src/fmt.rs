@@ -21,11 +21,7 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let sep: String = widths
-        .iter()
-        .map(|w| "-".repeat(w + 2))
-        .collect::<Vec<_>>()
-        .join("+");
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()

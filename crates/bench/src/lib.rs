@@ -35,12 +35,8 @@ impl BenchArgs {
     /// Parses `--scale F`, `--scenes N`, and `--seed N` from `std::env::args`,
     /// leaving everything else in `rest`.
     pub fn parse(default_scale: f64, default_scenes: usize) -> BenchArgs {
-        let mut args = BenchArgs {
-            scale: default_scale,
-            scenes: default_scenes,
-            seed: 42,
-            rest: Vec::new(),
-        };
+        let mut args =
+            BenchArgs { scale: default_scale, scenes: default_scenes, seed: 42, rest: Vec::new() };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {

@@ -107,12 +107,8 @@ pub fn staged_output_coords(
     stats.writes += n * v;
 
     // Stage 4: flatten surviving candidates to 1D keys (here: divided coords).
-    let mut survivors: Vec<Coord> = candidates
-        .iter()
-        .zip(&kept)
-        .filter(|(_, &k)| k)
-        .map(|(c, _)| c.divided(stride))
-        .collect();
+    let mut survivors: Vec<Coord> =
+        candidates.iter().zip(&kept).filter(|(_, &k)| k).map(|(c, _)| c.divided(stride)).collect();
     stats.reads += 2 * n * v;
     stats.writes += n * v; // the flattened key buffer is N*V wide (masked)
 

@@ -63,27 +63,17 @@ impl GridTable {
                 max[d] = max[d].max(v[d]);
             }
         }
-        let extent = [
-            max[0] - min[0] + 1,
-            max[1] - min[1] + 1,
-            max[2] - min[2] + 1,
-            max[3] - min[3] + 1,
-        ];
-        let cells_needed = extent.iter().try_fold(1u64, |acc, &e| {
-            acc.checked_mul(e as u64)
-        });
+        let extent =
+            [max[0] - min[0] + 1, max[1] - min[1] + 1, max[2] - min[2] + 1, max[3] - min[3] + 1];
+        let cells_needed = extent.iter().try_fold(1u64, |acc, &e| acc.checked_mul(e as u64));
         let cells_needed = match cells_needed {
             Some(n) if n <= cell_limit => n,
             Some(n) => return Err(CoordsError::GridTooLarge { cells: n, limit: cell_limit }),
             None => return Err(CoordsError::GridTooLarge { cells: u64::MAX, limit: cell_limit }),
         };
 
-        let mut table = GridTable {
-            min,
-            extent,
-            cells: vec![EMPTY; cells_needed as usize],
-            len: 0,
-        };
+        let mut table =
+            GridTable { min, extent, cells: vec![EMPTY; cells_needed as usize], len: 0 };
         let mut accesses = 0;
         for (i, &c) in coords.iter().enumerate() {
             accesses += table.insert(c, i as u32);

@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn insert_query_roundtrip() {
-        let coords: Vec<Coord> =
-            (0..100).map(|i| Coord::new(0, i, i * 3 - 7, -i)).collect();
+        let coords: Vec<Coord> = (0..100).map(|i| Coord::new(0, i, i * 3 - 7, -i)).collect();
         let (table, _) = CoordHashMap::build(&coords);
         assert_eq!(table.len(), 100);
         for (i, &c) in coords.iter().enumerate() {
@@ -196,7 +195,8 @@ mod tests {
 
     #[test]
     fn load_factor_bounded() {
-        let (table, _) = CoordHashMap::build(&(0..1000).map(|i| Coord::new(0, i, 0, 0)).collect::<Vec<_>>());
+        let (table, _) =
+            CoordHashMap::build(&(0..1000).map(|i| Coord::new(0, i, 0, 0)).collect::<Vec<_>>());
         assert!(table.slot_count() >= 2000);
     }
 

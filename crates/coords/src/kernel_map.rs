@@ -246,7 +246,13 @@ pub fn search_submanifold_symmetric_dilated(
     kernel_size: usize,
     dilation: i32,
 ) -> Result<KernelMap, CoordsError> {
-    search_submanifold_symmetric_dilated_on(ThreadPool::global(), coords, table, kernel_size, dilation)
+    search_submanifold_symmetric_dilated_on(
+        ThreadPool::global(),
+        coords,
+        table,
+        kernel_size,
+        dilation,
+    )
 }
 
 /// [`search_submanifold_symmetric_dilated`] on an explicit runtime pool.
@@ -526,8 +532,7 @@ mod tests {
         for n in 0..27 {
             for e in map.entries(n) {
                 assert_eq!(
-                    coords[e.input as usize].batch,
-                    coords[e.output as usize].batch,
+                    coords[e.input as usize].batch, coords[e.output as usize].batch,
                     "map entry crosses batches"
                 );
             }

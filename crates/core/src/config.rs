@@ -157,10 +157,7 @@ impl OptimizationConfig {
     /// MinkowskiEngine v0.5.4-style configuration: conventional hashmap,
     /// separate FP32 matmuls, fetch-on-demand for small workloads.
     pub fn minkowski_engine() -> OptimizationConfig {
-        OptimizationConfig {
-            fetch_on_demand_below: Some(5_000),
-            ..Self::baseline_fp32()
-        }
+        OptimizationConfig { fetch_on_demand_below: Some(5_000), ..Self::baseline_fp32() }
     }
 
     /// SpConv v1.2.1-style configuration (FP32): grid map search, separate
@@ -263,7 +260,8 @@ mod tests {
 
     #[test]
     fn preset_names_unique() {
-        let mut names: Vec<&str> = EnginePreset::figure11_systems().iter().map(|p| p.name()).collect();
+        let mut names: Vec<&str> =
+            EnginePreset::figure11_systems().iter().map(|p| p.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 4);

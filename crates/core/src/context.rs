@@ -209,15 +209,41 @@ impl Context {
     /// ([`HOST_OP_OVERHEAD_US`]) to the `Other` stage. Called by every leaf
     /// layer's `forward`.
     pub fn charge_host_op(&mut self) {
-        self.timeline.add(
-            torchsparse_gpusim::Stage::Other,
-            torchsparse_gpusim::Micros(HOST_OP_OVERHEAD_US),
-        );
+        self.timeline
+            .add(torchsparse_gpusim::Stage::Other, torchsparse_gpusim::Micros(HOST_OP_OVERHEAD_US));
     }
 
-    /// Fails if the context's configuration cannot run (currently only a
-    /// placeholder for future validation).
+    /// Fails if the context's configuration cannot run: zero-sized thread
+    /// pools, resource budgets that reject every input, dataflow thresholds
+    /// that can never trigger, and out-of-range adaptive-grouping
+    /// parameters. Called by [`Engine::new`](crate::Engine::new) and
+    /// [`Engine::with_config`](crate::Engine::with_config) so a broken
+    /// configuration fails at construction, not mid-inference.
     pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |reason: &str| CoreError::InvalidConfig { reason: reason.to_owned() };
+        let cfg = &self.config;
+        if cfg.threads == Some(0) {
+            return Err(invalid("threads must be at least 1 when set"));
+        }
+        if cfg.validation.max_points == Some(0) {
+            return Err(invalid("validation.max_points of 0 rejects every non-empty input"));
+        }
+        if cfg.validation.max_grid_cells == 0 {
+            return Err(invalid("validation.max_grid_cells of 0 rejects every input extent"));
+        }
+        if cfg.grid_cell_limit == 0 {
+            return Err(invalid("grid_cell_limit of 0 makes the grid mapping strategy unusable"));
+        }
+        if cfg.fetch_on_demand_below == Some(0) {
+            return Err(invalid(
+                "fetch_on_demand_below of 0 can never trigger; use None to disable",
+            ));
+        }
+        if let crate::config::GroupingStrategy::Adaptive { epsilon, .. } = cfg.grouping {
+            if !epsilon.is_finite() || !(0.0..=1.0).contains(&epsilon) {
+                return Err(invalid("adaptive grouping epsilon must be within [0, 1]"));
+            }
+        }
         Ok(())
     }
 }

@@ -7,9 +7,10 @@ use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
 use crate::mapping::build_layer_mapping_observed_on;
 use crate::module::Module;
+use crate::plan::{ConvDataflow, ConvPlan, LayerOp, Tracer};
 use crate::{CoreError, SparseTensor};
 use std::sync::Arc;
-use torchsparse_coords::{offsets, KernelMap};
+use torchsparse_coords::{offsets, Coord};
 use torchsparse_gpusim::Stage;
 use torchsparse_tensor::Matrix;
 
@@ -205,27 +206,25 @@ impl SparseConv3d {
     /// possible.
     fn acquire_map(
         &self,
-        input: &SparseTensor,
+        coords: &[Coord],
+        in_stride: i32,
         ctx: &mut Context,
     ) -> Result<(Arc<CachedMap>, bool), CoreError> {
         if self.transposed {
-            let fine_stride = input.stride() / self.stride;
+            let fine_stride = in_stride / self.stride;
             let key = MapKey {
                 fine_stride,
                 kernel_size: self.kernel_size,
                 conv_stride: self.stride,
                 dilation: self.dilation,
             };
-            return ctx
-                .cached_map(key)
-                .map(|m| (m, true))
-                .ok_or(CoreError::MissingCachedMap {
-                    stride: input.stride(),
-                    kernel_size: self.kernel_size,
-                });
+            return ctx.cached_map(key).map(|m| (m, true)).ok_or(CoreError::MissingCachedMap {
+                stride: in_stride,
+                kernel_size: self.kernel_size,
+            });
         }
         let key = MapKey {
-            fine_stride: input.stride(),
+            fine_stride: in_stride,
             kernel_size: self.kernel_size,
             conv_stride: self.stride,
             dilation: self.dilation,
@@ -245,7 +244,7 @@ impl SparseConv3d {
             let Context { config, device, faults, degradation, runtime, .. } = ctx;
             build_layer_mapping_observed_on(
                 &runtime.pool(),
-                input.coords(),
+                coords,
                 self.kernel_size,
                 self.stride,
                 self.dilation,
@@ -258,81 +257,52 @@ impl SparseConv3d {
         ctx.timeline.add(Stage::Mapping, mapping.latency);
         let cached = CachedMap {
             map: mapping.map,
-            fine_coords: input.coords().to_vec(),
+            fine_coords: coords.to_vec(),
             coarse_coords: mapping.out_coords,
         };
         Ok((ctx.store_map(key, cached), false))
     }
-}
 
-impl std::fmt::Debug for SparseConv3d {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SparseConv3d")
-            .field("name", &self.name)
-            .field("c_in", &self.c_in)
-            .field("c_out", &self.c_out)
-            .field("kernel_size", &self.kernel_size)
-            .field("stride", &self.stride)
-            .field("transposed", &self.transposed)
-            .finish()
-    }
-}
-
-impl Module for SparseConv3d {
-    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
-        if input.channels() != self.c_in {
-            return Err(CoreError::ChannelMismatch {
-                expected: self.c_in,
-                actual: input.channels(),
-            });
+    /// The plan half: derives everything this layer needs from input
+    /// *geometry* alone — kernel map (built or cached), output coordinates
+    /// and stride, and the frozen dataflow/grouping decision. Charges only
+    /// the `Mapping` stage.
+    pub(crate) fn plan(
+        &self,
+        coords: &[Coord],
+        in_stride: i32,
+        in_channels: usize,
+        ctx: &mut Context,
+    ) -> Result<ConvPlan, CoreError> {
+        if in_channels != self.c_in {
+            return Err(CoreError::ChannelMismatch { expected: self.c_in, actual: in_channels });
         }
-        if input.is_empty() {
+        if coords.is_empty() {
             return Err(CoreError::EmptyInput);
         }
-        let profile_start = ctx.start_layer_profile();
-        ctx.charge_host_op();
-
-        let (cached, _was_hit) = self.acquire_map(input, ctx)?;
+        let (cached, _was_hit) = self.acquire_map(coords, in_stride, ctx)?;
         // For a transposed conv the map is flipped: entries run coarse -> fine.
-        let transposed_map: KernelMap;
-        let (map_ref, out_coords, out_stride) = if self.transposed {
-            transposed_map = cached.map.transposed();
-            (&transposed_map, &cached.fine_coords[..], input.stride() / self.stride)
+        let (flipped, use_fine, out_stride) = if self.transposed {
+            (Some(cached.map.transposed()), true, in_stride / self.stride)
         } else if self.stride > 1 {
-            (&cached.map, &cached.coarse_coords[..], input.stride() * self.stride)
+            (None, false, in_stride * self.stride)
         } else {
-            (&cached.map, &cached.fine_coords[..], input.stride())
+            (None, true, in_stride)
         };
 
         let submanifold = self.is_submanifold();
         let center = if submanifold { offsets::center_index(self.kernel_size) } else { None };
 
-        if ctx.record_workloads {
-            ctx.workloads.push(LayerWorkload {
-                name: self.name.clone(),
-                map_sizes: map_ref.sizes(),
-                c_in: self.c_in,
-                c_out: self.c_out,
-                submanifold,
-            });
-        }
-
-        let workload = ConvWorkload {
-            in_feats: input.feats(),
-            weights: &self.weights,
-            map: map_ref,
-            n_out: out_coords.len(),
-            center_identity: center,
+        let map_ref = match &flipped {
+            Some(m) => m,
+            None => &cached.map,
         };
-
         // Fetch-on-demand when configured and the workload is small.
         let avg_map = map_ref.total_entries() / map_ref.num_offsets().max(1);
         let use_fod = ctx.config.fetch_on_demand_below.is_some_and(|t| avg_map < t);
-
-        let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {
-            if use_fod {
-                return run_fetch_on_demand(&workload, ctx);
-            }
+        let dataflow = if use_fod {
+            ConvDataflow::FetchOnDemand
+        } else {
             // Grouping strategy, with per-layer tuned parameters if present;
             // after a tuning failure adaptive layers degrade to fixed groups.
             let strategy = match (ctx.config.grouping, ctx.tuned_for(&self.name)) {
@@ -344,8 +314,58 @@ impl Module for SparseConv3d {
                 }
                 (s, _) => s,
             };
-            let plan = plan_groups(&map_ref.sizes(), submanifold, strategy);
-            run_gather_matmul_scatter(&workload, &plan, ctx)
+            ConvDataflow::Grouped(plan_groups(&map_ref.sizes(), submanifold, strategy))
+        };
+
+        Ok(ConvPlan { cached, flipped, use_fine, out_stride, center, submanifold, dataflow })
+    }
+
+    /// The execute half: runs only the feature path (gather/matmul/scatter
+    /// or fetch-on-demand, plus quantization and overflow fallback) against
+    /// a frozen [`ConvPlan`]. Never builds maps or plans groups.
+    pub(crate) fn execute_planned(
+        &self,
+        input: &SparseTensor,
+        plan: &ConvPlan,
+        ctx: &mut Context,
+    ) -> Result<SparseTensor, CoreError> {
+        if input.channels() != self.c_in {
+            return Err(CoreError::ChannelMismatch {
+                expected: self.c_in,
+                actual: input.channels(),
+            });
+        }
+        if input.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        ctx.charge_host_op();
+
+        let map_ref = plan.map();
+        let out_coords = plan.out_coords();
+
+        if ctx.record_workloads {
+            ctx.workloads.push(LayerWorkload {
+                name: self.name.clone(),
+                map_sizes: map_ref.sizes(),
+                c_in: self.c_in,
+                c_out: self.c_out,
+                submanifold: plan.submanifold,
+            });
+        }
+
+        let workload = ConvWorkload {
+            in_feats: input.feats(),
+            weights: &self.weights,
+            map: map_ref,
+            n_out: out_coords.len(),
+            center_identity: plan.center,
+        };
+
+        let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {
+            match &plan.dataflow {
+                ConvDataflow::FetchOnDemand => run_fetch_on_demand(&workload, ctx),
+                ConvDataflow::Grouped(groups) => run_gather_matmul_scatter(&workload, groups, ctx),
+            }
         };
 
         let mut out_feats = apply_storage_precision_owned(
@@ -374,8 +394,39 @@ impl Module for SparseConv3d {
                 out_feats = redo?;
             }
         }
+        SparseTensor::with_stride(out_coords.to_vec(), out_feats, plan.out_stride)
+    }
+}
+
+impl std::fmt::Debug for SparseConv3d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseConv3d")
+            .field("name", &self.name)
+            .field("c_in", &self.c_in)
+            .field("c_out", &self.c_out)
+            .field("kernel_size", &self.kernel_size)
+            .field("stride", &self.stride)
+            .field("transposed", &self.transposed)
+            .finish()
+    }
+}
+
+impl Module for SparseConv3d {
+    /// Plan-then-execute: derives the geometric plan (map, output
+    /// coordinates, grouping) and immediately runs the feature path against
+    /// it. [`CompiledSession`](crate::CompiledSession) calls the two halves
+    /// separately to amortize planning across frames.
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        let profile_start = ctx.start_layer_profile();
+        let plan = self.plan(input.coords(), input.stride(), input.channels(), ctx)?;
+        let out = self.execute_planned(input, &plan, ctx)?;
         ctx.finish_layer_profile(&self.name, input.len(), profile_start);
-        SparseTensor::with_stride(out_coords.to_vec(), out_feats, out_stride)
+        Ok(out)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        tracer.push(LayerOp::Conv(self));
+        Ok(())
     }
 
     fn name(&self) -> &str {
@@ -417,8 +468,7 @@ mod tests {
 
     #[test]
     fn weight_shape_validated() {
-        let err =
-            SparseConv3d::new("c", 2, 2, 1, 1, false, vec![Matrix::zeros(2, 3)]).unwrap_err();
+        let err = SparseConv3d::new("c", 2, 2, 1, 1, false, vec![Matrix::zeros(2, 3)]).unwrap_err();
         assert!(matches!(err, CoreError::Tensor(_)));
     }
 
@@ -470,12 +520,8 @@ mod tests {
     fn transposed_without_cache_fails() {
         let up = SparseConv3d::with_random_weights("u", 4, 4, 2, 2, 5).into_transposed();
         let mut c = ctx();
-        let x = SparseTensor::with_stride(
-            input(4).coords().to_vec(),
-            input(4).feats().clone(),
-            2,
-        )
-        .unwrap();
+        let x = SparseTensor::with_stride(input(4).coords().to_vec(), input(4).feats().clone(), 2)
+            .unwrap();
         assert!(matches!(up.forward(&x, &mut c), Err(CoreError::MissingCachedMap { .. })));
     }
 

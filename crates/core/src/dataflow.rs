@@ -25,8 +25,8 @@ use crate::runtime::{Task, ThreadPool};
 use crate::CoreError;
 use torchsparse_coords::kernel_map::MapEntry;
 use torchsparse_coords::KernelMap;
-use torchsparse_gpusim::{AccessMode, ElemWidth, GemmShape, Stage};
 use torchsparse_gpusim::Precision as GemmPrecision;
+use torchsparse_gpusim::{AccessMode, ElemWidth, GemmShape, Stage};
 use torchsparse_tensor::{gemm, quant, Matrix};
 
 /// Everything a dataflow needs to execute one convolution.
@@ -103,7 +103,11 @@ pub fn apply_storage_precision(pool: &ThreadPool, m: &Matrix, precision: Precisi
 /// of a forward pass allocates nothing here. The rounding sweep runs on the
 /// worker pool; per-element rounding is independent, so results are bitwise
 /// identical at any thread count.
-pub fn apply_storage_precision_owned(pool: &ThreadPool, mut m: Matrix, precision: Precision) -> Matrix {
+pub fn apply_storage_precision_owned(
+    pool: &ThreadPool,
+    mut m: Matrix,
+    precision: Precision,
+) -> Matrix {
     match precision {
         Precision::Fp32 => {}
         Precision::Fp16 => quant::round_trip_f16_in_place_on(pool, &mut m),
@@ -159,7 +163,12 @@ fn gather_rows(pool: &ThreadPool, in_feats: &Matrix, entries: &[MapEntry], f: &m
 /// serial loop — so results are bitwise identical at every pool width:
 /// tasks write disjoint output rows and FP32 addition happens in one fixed
 /// order per element.
-fn scatter_accumulate(pool: &ThreadPool, map: &KernelMap, psums: &[Option<Matrix>], out: &mut Matrix) {
+fn scatter_accumulate(
+    pool: &ThreadPool,
+    map: &KernelMap,
+    psums: &[Option<Matrix>],
+    out: &mut Matrix,
+) {
     let c_out = out.cols();
     if out.rows() == 0 || c_out == 0 {
         return;
@@ -275,9 +284,7 @@ fn charge_map_read(w: &ConvWorkload<'_>, offsets: &[usize], bufs: &Buffers, ctx:
 /// Whether a group is the bare center-identity offset that the §4.2.1
 /// shortcut can compute without data movement.
 fn is_center_shortcut(w: &ConvWorkload<'_>, offsets: &[usize], ctx: &Context) -> bool {
-    ctx.config.skip_center_movement
-        && offsets.len() == 1
-        && Some(offsets[0]) == w.center_identity
+    ctx.config.skip_center_movement && offsets.len() == 1 && Some(offsets[0]) == w.center_identity
 }
 
 /// Executes Algorithm 2 with the configured optimizations; returns the
@@ -414,12 +421,7 @@ fn simulate_gather(
             if ns.is_empty() {
                 continue;
             }
-            ctx.mem.read(
-                bufs.in_base,
-                j as u64 * bufs.feat_row_bytes,
-                bufs.feat_row_bytes,
-                m.feat,
-            );
+            ctx.mem.read(bufs.in_base, j as u64 * bufs.feat_row_bytes, bufs.feat_row_bytes, m.feat);
             for &(n, i) in ns {
                 ctx.mem.write(
                     bufs.gather_base,
@@ -689,7 +691,12 @@ mod tests {
     }
 
     /// Reference computation straight from the map definition (Equation 1).
-    fn reference_output(feats: &Matrix, weights: &[Matrix], map: &KernelMap, n_out: usize) -> Matrix {
+    fn reference_output(
+        feats: &Matrix,
+        weights: &[Matrix],
+        map: &KernelMap,
+        n_out: usize,
+    ) -> Matrix {
         let c_out = weights[0].cols();
         let mut out = Matrix::zeros(n_out, c_out);
         for (n, weight) in weights.iter().enumerate().take(map.num_offsets()) {

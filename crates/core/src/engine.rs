@@ -33,13 +33,59 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine from a preset on a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset's configuration fails [`Context::validate`]
+    /// (all shipped presets are valid; this guards future presets).
     pub fn new(preset: EnginePreset, device: DeviceProfile) -> Engine {
-        Engine { ctx: Context::new(preset.config(), device) }
+        Engine::with_config(preset.config(), device)
     }
 
     /// Creates an engine from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`Context::validate`] — a broken
+    /// configuration is a programming bug, like a zero pooling stride. Use
+    /// [`Engine::try_with_config`] to handle untrusted configurations.
     pub fn with_config(config: OptimizationConfig, device: DeviceProfile) -> Engine {
-        Engine { ctx: Context::new(config, device) }
+        Engine::try_with_config(config, device)
+            .unwrap_or_else(|e| panic!("invalid engine configuration: {e}"))
+    }
+
+    /// Creates an engine from an explicit configuration, returning an error
+    /// instead of panicking when the configuration cannot run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when [`Context::validate`] rejects the
+    /// configuration.
+    pub fn try_with_config(
+        config: OptimizationConfig,
+        device: DeviceProfile,
+    ) -> Result<Engine, CoreError> {
+        let ctx = Context::new(config, device);
+        ctx.validate()?;
+        Ok(Engine { ctx })
+    }
+
+    /// Compiles `model` against `input`'s geometry into a
+    /// [`CompiledSession`](crate::CompiledSession): planning (tracing,
+    /// kernel maps, output coordinates, grouping) runs once here, and the
+    /// session's `execute` then runs only feature-path work per frame.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Untraceable`] when the model has no
+    /// [`trace`](Module::trace) implementation, plus any planning error
+    /// (validation, mapping, channel mismatches).
+    pub fn compile<'m, M: Module + ?Sized>(
+        self,
+        model: &'m M,
+        input: &SparseTensor,
+    ) -> Result<crate::session::CompiledSession<'m>, CoreError> {
+        crate::session::CompiledSession::compile(self, model, input)
     }
 
     /// The execution context (device, config, timeline, tuned parameters).
@@ -126,8 +172,7 @@ mod tests {
             .into_iter()
             .collect();
         let n = coords.len();
-        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| ((r * c) % 5) as f32 - 2.0))
-            .unwrap()
+        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| ((r * c) % 5) as f32 - 2.0)).unwrap()
     }
 
     fn tiny_model() -> Sequential {
@@ -200,10 +245,7 @@ mod tests {
         assert_eq!(profiles.len(), 3, "conv1 + relu + conv2");
         let sum: f64 = profiles.iter().map(|p| p.timeline.total().as_f64()).sum();
         let total = e.last_latency().as_f64();
-        assert!(
-            (sum - total).abs() < 1e-6 * total.max(1.0),
-            "profiles sum {sum} != total {total}"
-        );
+        assert!((sum - total).abs() < 1e-6 * total.max(1.0), "profiles sum {sum} != total {total}");
         assert_eq!(profiles[0].name, "conv1");
         assert_eq!(profiles[0].input_points, x.len());
     }

@@ -63,6 +63,24 @@ pub enum CoreError {
         /// The configured maximum.
         limit: usize,
     },
+    /// A module tree could not be flattened into the layer-op IR because
+    /// some module lacks a [`trace`](crate::Module::trace) implementation.
+    Untraceable {
+        /// Name of the module without a trace implementation.
+        module: String,
+    },
+    /// The engine configuration is contradictory or unrunnable (see
+    /// [`Context::validate`](crate::Context::validate)).
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// A compiled execution plan desynchronized from the traced op list —
+    /// an internal invariant violation, reported instead of panicking.
+    PlanMismatch {
+        /// What desynchronized.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -92,6 +110,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::BudgetExceeded { points, limit } => {
                 write!(f, "input has {points} points, budget is {limit}")
+            }
+            CoreError::Untraceable { module } => {
+                write!(f, "module '{module}' cannot be traced into a layer-op IR")
+            }
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            CoreError::PlanMismatch { reason } => {
+                write!(f, "compiled plan out of sync with traced ops: {reason}")
             }
         }
     }
@@ -136,6 +163,9 @@ mod tests {
             CoreError::NonFiniteFeatures { count: 3 },
             CoreError::ExtentOverflow { cells: u64::MAX, limit: 1 << 28 },
             CoreError::BudgetExceeded { points: 1_000_000, limit: 500_000 },
+            CoreError::Untraceable { module: "centerpoint".to_owned() },
+            CoreError::InvalidConfig { reason: "zero threads".to_owned() },
+            CoreError::PlanMismatch { reason: "op/step count differs" },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -164,8 +164,7 @@ impl FaultInjector {
 
     /// Whether any fault configuration is active (armed or probabilistic).
     pub fn is_armed(&self) -> bool {
-        self.armed.values().any(|&n| n > 0)
-            || self.probability.values().any(|&p| p > 0.0)
+        self.armed.values().any(|&n| n > 0) || self.probability.values().any(|&p| p > 0.0)
     }
 
     /// Every fault injected so far, in order.
@@ -296,8 +295,7 @@ mod tests {
         let mut inj = FaultInjector::disarmed();
         inj.arm_count(FaultSite::GridTableBuild, 3);
         inj.arm(FaultSite::Fp16Overflow);
-        let fired: Vec<bool> =
-            (0..5).map(|_| inj.should_fail(FaultSite::GridTableBuild)).collect();
+        let fired: Vec<bool> = (0..5).map(|_| inj.should_fail(FaultSite::GridTableBuild)).collect();
         assert_eq!(fired, vec![true, true, true, false, false]);
         assert!(inj.should_fail(FaultSite::Fp16Overflow));
         assert!(!inj.should_fail(FaultSite::Fp16Overflow));

@@ -58,10 +58,7 @@ pub struct GroupPlan {
 impl GroupPlan {
     /// Number of GEMM kernel launches the plan implies.
     pub fn kernel_count(&self) -> usize {
-        self.groups
-            .iter()
-            .map(|g| if g.use_bmm { 1 } else { g.offsets.len() })
-            .sum()
+        self.groups.iter().map(|g| if g.use_bmm { 1 } else { g.offsets.len() }).sum()
     }
 
     /// Total padded rows across batched groups plus exact rows of mm groups.
@@ -83,9 +80,7 @@ impl GroupPlan {
                 seen[n] = true;
             }
         }
-        seen.iter()
-            .enumerate()
-            .all(|(n, &s)| s || map_sizes[n] == 0)
+        seen.iter().enumerate().all(|(n, &s)| s || map_sizes[n] == 0)
     }
 }
 
@@ -114,7 +109,8 @@ pub fn plan_groups(
             if submanifold {
                 let center = (volume - 1) / 2;
                 let first: Vec<usize> = (0..center).filter(|&n| map_sizes[n] > 0).collect();
-                let second: Vec<usize> = (center + 1..volume).filter(|&n| map_sizes[n] > 0).collect();
+                let second: Vec<usize> =
+                    (center + 1..volume).filter(|&n| map_sizes[n] > 0).collect();
                 let mut groups = Vec::new();
                 push_bmm_group(&mut groups, first, map_sizes);
                 if map_sizes[center] > 0 {
@@ -182,12 +178,7 @@ fn symmetric(map_sizes: &[usize]) -> GroupPlan {
 /// For submanifold layers the scan runs over mirror pairs (each unit brings
 /// both offsets, a natural batch of 2); for downsampling layers it runs over
 /// all offsets individually.
-fn adaptive(
-    map_sizes: &[usize],
-    submanifold: bool,
-    epsilon: f64,
-    s_threshold: usize,
-) -> GroupPlan {
+fn adaptive(map_sizes: &[usize], submanifold: bool, epsilon: f64, s_threshold: usize) -> GroupPlan {
     let volume = map_sizes.len();
     // Units: (representative size, offsets brought along).
     let units: Vec<(usize, Vec<usize>)> = if submanifold {
@@ -370,11 +361,8 @@ mod tests {
     fn adaptive_s_zero_equals_separate() {
         // (S=0) degenerates to separate computation: every group runs mm.
         let sizes = submanifold_sizes();
-        let plan = plan_groups(
-            &sizes,
-            true,
-            GroupingStrategy::Adaptive { epsilon: 1.0, s_threshold: 0 },
-        );
+        let plan =
+            plan_groups(&sizes, true, GroupingStrategy::Adaptive { epsilon: 1.0, s_threshold: 0 });
         assert!(plan.groups.iter().all(|g| !g.use_bmm));
         assert_eq!(plan.executed_rows(&sizes), sizes.iter().sum::<usize>());
     }

@@ -28,6 +28,14 @@
 //! degradation (grid→hashmap fallback, FP16 overflow→FP32 re-run, tuning
 //! failure→fixed grouping) is recorded in an observable
 //! [`DegradationReport`].
+//!
+//! For streaming inference the engine separates *planning* from
+//! *execution*: [`Engine::compile`] traces a model into a flat [`LayerOp`]
+//! IR and freezes every geometric derivation (kernel maps, output
+//! coordinates, grouping plans) into an [`ExecutionPlan`] keyed by a
+//! [`geometry_fingerprint`]; the resulting [`CompiledSession`] then runs
+//! only feature-path work per frame, re-planning automatically when the
+//! input geometry changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +47,10 @@ mod conv;
 mod engine;
 mod error;
 mod module;
+mod plan;
 mod pointwise;
 mod pooling;
+mod session;
 mod sparse_tensor;
 
 pub mod dataflow;
@@ -60,9 +70,11 @@ pub use engine::Engine;
 pub use error::CoreError;
 pub use faults::{DegradationEvent, DegradationReport, FaultInjector, FaultSite};
 pub use module::{Module, Sequential};
+pub use plan::{geometry_fingerprint, ExecutionPlan, LayerOp, PlanCacheStats, Tracer};
 pub use pointwise::{BatchNorm, GlobalPool, ReLU};
 pub use pooling::{PoolReduction, SparseMaxPool3d};
 pub use runtime::{Runtime, ThreadPool, WorkspacePool};
+pub use session::CompiledSession;
 pub use sparse_tensor::SparseTensor;
 pub use validate::{ValidationConfig, ValidationPolicy};
 

@@ -19,9 +19,7 @@ use crate::faults::{DegradationReport, FaultInjector, FaultSite};
 use crate::runtime::ThreadPool;
 use crate::CoreError;
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
-use torchsparse_coords::kernel_map::{
-    search_dilated_on, search_submanifold_symmetric_dilated_on,
-};
+use torchsparse_coords::kernel_map::{search_dilated_on, search_submanifold_symmetric_dilated_on};
 use torchsparse_coords::{
     Coord, CoordHashMap, CoordTable, CoordsError, GridTable, KernelMap, MappingStats,
 };
@@ -210,13 +208,8 @@ pub fn build_layer_mapping_observed_on(
         } else {
             staged_output_coords(in_coords, kernel_size, conv_stride, Boundary::unbounded())?
         };
-        latency += stats_latency(
-            &result.stats,
-            device,
-            false,
-            1.0,
-            config.simplified_mapping_kernels,
-        );
+        latency +=
+            stats_latency(&result.stats, device, false, 1.0, config.simplified_mapping_kernels);
         result.coords
     };
 
@@ -232,10 +225,8 @@ pub fn build_layer_mapping_observed_on(
     );
 
     // 3. Map search.
-    let symmetric = config.symmetric_map_search
-        && conv_stride == 1
-        && kernel_size % 2 == 1
-        && kernel_size > 1;
+    let symmetric =
+        config.symmetric_map_search && conv_stride == 1 && kernel_size % 2 == 1 && kernel_size > 1;
     let map = if symmetric {
         search_submanifold_symmetric_dilated_on(
             pool,
@@ -344,14 +335,9 @@ mod tests {
         // Whatever tables, fusion, or symmetry a config picks, the *map*
         // must be identical — optimizations never change semantics.
         let coords = coords_blob(7);
-        let reference = build_layer_mapping(
-            &coords,
-            3,
-            1,
-            &OptimizationConfig::baseline_fp32(),
-            &device(),
-        )
-        .unwrap();
+        let reference =
+            build_layer_mapping(&coords, 3, 1, &OptimizationConfig::baseline_fp32(), &device())
+                .unwrap();
         for cfg in [
             OptimizationConfig::torchsparse(),
             OptimizationConfig::minkowski_engine(),
@@ -452,7 +438,14 @@ mod tests {
         let mut faults = FaultInjector::disarmed();
         let mut report = DegradationReport::new();
         let m = build_layer_mapping_observed(
-            &coords, 3, 1, 1, &cfg, &device(), &mut faults, &mut report,
+            &coords,
+            3,
+            1,
+            1,
+            &cfg,
+            &device(),
+            &mut faults,
+            &mut report,
         )
         .unwrap();
         assert_eq!(m.table, TableKind::Hashmap);
@@ -471,7 +464,14 @@ mod tests {
         faults.arm(FaultSite::GridTableBuild);
         let mut report = DegradationReport::new();
         let degraded = build_layer_mapping_observed(
-            &coords, 3, 1, 1, &cfg, &device(), &mut faults, &mut report,
+            &coords,
+            3,
+            1,
+            1,
+            &cfg,
+            &device(),
+            &mut faults,
+            &mut report,
         )
         .unwrap();
         assert_eq!(degraded.table, TableKind::Hashmap);

@@ -1,4 +1,5 @@
 use crate::context::Context;
+use crate::plan::Tracer;
 use crate::{CoreError, SparseTensor};
 
 /// A sparse neural network layer or block, in the PyTorch-like style of the
@@ -14,6 +15,22 @@ pub trait Module {
     /// Implementations return [`CoreError`] on shape/channel mismatches or
     /// mapping failures.
     fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError>;
+
+    /// Appends this module's flattened [`LayerOp`](crate::LayerOp) sequence
+    /// to `tracer`, so the module can be compiled into a
+    /// [`CompiledSession`](crate::CompiledSession). Containers recurse into
+    /// children; leaf layers push one op.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`CoreError::Untraceable`]:
+    /// modules whose control flow cannot be expressed in the layer-op IR
+    /// (data-dependent branching, non-`Module` side inputs) stay
+    /// dynamic-only.
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        let _ = tracer;
+        Err(CoreError::Untraceable { module: self.name().to_owned() })
+    }
 
     /// A human-readable name for diagnostics and tuning keys.
     fn name(&self) -> &str;
@@ -78,11 +95,24 @@ impl Sequential {
 
 impl Module for Sequential {
     fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
-        let mut x = input.clone();
-        for m in &self.modules {
+        // Only an empty container needs to clone (identity); otherwise the
+        // first layer reads the input directly.
+        let (first, rest) = match self.modules.split_first() {
+            Some(parts) => parts,
+            None => return Ok(input.clone()),
+        };
+        let mut x = first.forward(input, ctx)?;
+        for m in rest {
             x = m.forward(&x, ctx)?;
         }
         Ok(x)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        for m in &self.modules {
+            m.trace(tracer)?;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &str {
@@ -128,8 +158,7 @@ mod tests {
     fn sequential_chains_in_order() {
         let seq = Sequential::new("s").push(AddOne("a".into())).push(AddOne("b".into()));
         let x = SparseTensor::new(vec![Coord::new(0, 0, 0, 0)], Matrix::zeros(1, 2)).unwrap();
-        let mut ctx =
-            Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
+        let mut ctx = Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
         let y = seq.forward(&x, &mut ctx).unwrap();
         assert_eq!(y.feats().as_slice(), &[2.0, 2.0]);
         assert_eq!(seq.param_count(), 2);
@@ -140,8 +169,7 @@ mod tests {
         let seq = Sequential::new("empty");
         assert!(seq.is_empty());
         let x = SparseTensor::new(vec![Coord::new(0, 0, 0, 0)], Matrix::filled(1, 1, 3.0)).unwrap();
-        let mut ctx =
-            Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
+        let mut ctx = Context::new(OptimizationConfig::torchsparse(), DeviceProfile::rtx_2080ti());
         let y = seq.forward(&x, &mut ctx).unwrap();
         assert_eq!(y, x);
     }

@@ -1,0 +1,307 @@
+//! The layer-op IR and the frozen per-layer execution plans.
+//!
+//! Dynamic execution re-derives everything per frame: each
+//! [`Engine::run`](crate::Engine::run) re-walks the module tree, rebuilds
+//! every kernel map, and re-plans matmul grouping. For streaming inference
+//! over frames with identical geometry that work is pure overhead — mapping
+//! and tuning are amortizable preprocessing (§4.4 tunes once per workload
+//! group and reuses the decision). This module provides the pieces a
+//! [`CompiledSession`](crate::CompiledSession) freezes at plan time:
+//!
+//! - [`LayerOp`]: one typed op of the flattened IR a [`Tracer`] collects
+//!   from any [`Module`](crate::Module) tree (including residual and UNet
+//!   skip topologies, expressed with a small value stack);
+//! - [`ConvPlan`] / [`PoolPlan`] (crate-internal): per-layer frozen state —
+//!   kernel maps, output coordinates, grouping plans, dataflow choice;
+//! - [`geometry_fingerprint`]: the hash of input geometry a plan is keyed
+//!   by, used to detect when a plan must be rebuilt;
+//! - [`PlanCacheStats`]: hit/miss/invalidation counters for plan reuse.
+
+use crate::context::CachedMap;
+use crate::grouping::GroupPlan;
+use crate::{BatchNorm, GlobalPool, ReLU, SparseConv3d, SparseMaxPool3d};
+use std::sync::Arc;
+use torchsparse_coords::{Coord, KernelMap};
+
+/// One typed operation in the flattened layer IR.
+///
+/// Ops borrow their layers from the traced model (`'m`), so the IR adds no
+/// parameter copies. Control flow (residual and UNet skips) is expressed
+/// with a small value stack: [`LayerOp::Push`] saves the current tensor,
+/// [`LayerOp::PopConcat`] and [`LayerOp::ResidualAdd`] consume the most
+/// recent save.
+#[derive(Debug, Clone, Copy)]
+pub enum LayerOp<'m> {
+    /// A sparse convolution (submanifold, strided, or transposed).
+    Conv(&'m SparseConv3d),
+    /// A sparse pooling layer.
+    Pool(&'m SparseMaxPool3d),
+    /// Inference-mode batch normalization.
+    BatchNorm(&'m BatchNorm),
+    /// Rectified linear unit.
+    Relu(&'m ReLU),
+    /// Global average pooling over each batch.
+    GlobalPool(&'m GlobalPool),
+    /// Save the current tensor on the value stack (start of a skip).
+    Push,
+    /// Pop the most recent saved tensor and concatenate its features onto
+    /// the current tensor (UNet skip connection).
+    PopConcat,
+    /// Pop the most recent saved tensor and add it to the current features,
+    /// optionally through a 1x1x1 projection convolution first (residual
+    /// connection).
+    ResidualAdd {
+        /// Projection applied to the shortcut when channel counts differ.
+        projection: Option<&'m SparseConv3d>,
+    },
+}
+
+/// Collects the flattened [`LayerOp`] sequence of a module tree.
+///
+/// Modules append their ops via [`Module::trace`](crate::Module::trace);
+/// containers recurse into children so arbitrary nesting flattens into one
+/// linear sequence.
+#[derive(Debug, Default)]
+pub struct Tracer<'m> {
+    ops: Vec<LayerOp<'m>>,
+}
+
+impl<'m> Tracer<'m> {
+    /// Creates an empty tracer.
+    pub fn new() -> Tracer<'m> {
+        Tracer { ops: Vec::new() }
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: LayerOp<'m>) {
+        self.ops.push(op);
+    }
+
+    /// The ops collected so far.
+    pub fn ops(&self) -> &[LayerOp<'m>] {
+        &self.ops
+    }
+
+    /// Consumes the tracer, returning the collected ops.
+    pub fn into_ops(self) -> Vec<LayerOp<'m>> {
+        self.ops
+    }
+}
+
+/// The dataflow frozen for one convolution at plan time: either
+/// fetch-on-demand (small workloads under MinkowskiEngine-style configs) or
+/// gather-matmul-scatter with a fixed grouping plan.
+#[derive(Debug, Clone)]
+pub(crate) enum ConvDataflow {
+    /// Fetch-on-demand: no explicit gather/scatter buffers.
+    FetchOnDemand,
+    /// Gather-matmul-scatter with the grouping plan resolved at plan time
+    /// (including per-layer tuned `(epsilon, S)` when present).
+    Grouped(GroupPlan),
+}
+
+/// Everything a [`SparseConv3d`] derives from input *geometry* alone,
+/// frozen at plan time so `execute` touches only the feature path.
+#[derive(Debug, Clone)]
+pub(crate) struct ConvPlan {
+    /// The cached kernel map and both coordinate lists (kept alive by the
+    /// plan even after the context's per-run map cache is cleared).
+    pub(crate) cached: Arc<CachedMap>,
+    /// The flipped (coarse-to-fine) map of a transposed convolution.
+    pub(crate) flipped: Option<KernelMap>,
+    /// Whether output coordinates come from the fine side of the map.
+    pub(crate) use_fine: bool,
+    /// Output tensor stride.
+    pub(crate) out_stride: i32,
+    /// Center-offset index for submanifold identity handling.
+    pub(crate) center: Option<usize>,
+    /// Whether the layer is submanifold (enables symmetric grouping).
+    pub(crate) submanifold: bool,
+    /// The frozen dataflow decision.
+    pub(crate) dataflow: ConvDataflow,
+}
+
+impl ConvPlan {
+    /// The map to execute with (flipped for transposed convolutions).
+    pub(crate) fn map(&self) -> &KernelMap {
+        match &self.flipped {
+            Some(m) => m,
+            None => &self.cached.map,
+        }
+    }
+
+    /// The output coordinate list.
+    pub(crate) fn out_coords(&self) -> &[Coord] {
+        if self.use_fine {
+            &self.cached.fine_coords
+        } else {
+            &self.cached.coarse_coords
+        }
+    }
+}
+
+/// A pooling layer's frozen plan: the shared kernel map plus output
+/// geometry.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolPlan {
+    /// The cached kernel map and coordinate lists.
+    pub(crate) cached: Arc<CachedMap>,
+    /// Whether output coordinates come from the fine side.
+    pub(crate) use_fine: bool,
+    /// Output tensor stride.
+    pub(crate) out_stride: i32,
+}
+
+impl PoolPlan {
+    /// The output coordinate list.
+    pub(crate) fn out_coords(&self) -> &[Coord] {
+        if self.use_fine {
+            &self.cached.fine_coords
+        } else {
+            &self.cached.coarse_coords
+        }
+    }
+}
+
+/// The frozen state for one [`LayerOp`], index-aligned with the traced op
+/// list.
+#[derive(Debug, Clone)]
+pub(crate) enum StepPlan {
+    /// Convolution plan.
+    Conv(ConvPlan),
+    /// Pooling plan.
+    Pool(PoolPlan),
+    /// Pointwise op (batch norm / ReLU): nothing geometric to freeze.
+    Pointwise,
+    /// Global pooling: output geometry derives from batches at execute.
+    GlobalPool,
+    /// Stack push.
+    Push,
+    /// Stack pop + feature concatenation.
+    PopConcat,
+    /// Residual addition, with the shortcut projection's plan when the
+    /// block projects.
+    Residual {
+        /// Plan for the 1x1x1 projection convolution, if any.
+        projection: Option<ConvPlan>,
+    },
+}
+
+/// An immutable execution plan: every kernel map, output coordinate list,
+/// grouping plan, and dataflow decision for one model on one input
+/// geometry, keyed by that geometry's fingerprint.
+///
+/// Built once by [`CompiledSession::compile`](crate::CompiledSession) and
+/// replaced wholesale when the fingerprint changes — never mutated.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    pub(crate) fingerprint: u64,
+    pub(crate) steps: Vec<StepPlan>,
+}
+
+impl ExecutionPlan {
+    /// The geometry fingerprint this plan was built for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of planned steps (equals the traced op count).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Plan-reuse counters of a [`CompiledSession`](crate::CompiledSession).
+///
+/// `misses` counts plan builds (the initial compile and every re-plan);
+/// `hits` counts executes that reused the frozen plan; `invalidations`
+/// counts executes whose input fingerprint mismatched, forcing a re-plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Executes that reused the frozen plan.
+    pub hits: u64,
+    /// Plan builds (initial compile + re-plans).
+    pub misses: u64,
+    /// Executes whose geometry fingerprint mismatched the plan.
+    pub invalidations: u64,
+}
+
+/// Fingerprints input geometry: a streaming FNV-1a hash over the tensor
+/// stride and every coordinate (batch, x, y, z).
+///
+/// Two inputs with equal fingerprints share kernel maps, output coordinate
+/// lists, and grouping plans, so a [`CompiledSession`](crate::CompiledSession)
+/// reuses its frozen plan; a mismatch triggers re-planning. Feature values
+/// never enter the hash — plans depend on geometry alone.
+pub fn geometry_fingerprint(coords: &[Coord], stride: i32) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: i32| {
+        // Hash all four bytes of each component.
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(stride);
+    mix(coords.len() as i32);
+    for c in coords {
+        mix(c.batch);
+        mix(c.x);
+        mix(c.y);
+        mix(c.z);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords() -> Vec<Coord> {
+        (0..10).map(|i| Coord::new(0, i, i % 3, 1)).collect()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        assert_eq!(geometry_fingerprint(&coords(), 1), geometry_fingerprint(&coords(), 1));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_stride_and_coords() {
+        let base = geometry_fingerprint(&coords(), 1);
+        assert_ne!(base, geometry_fingerprint(&coords(), 2));
+        let mut moved = coords();
+        moved[3].x += 1;
+        assert_ne!(base, geometry_fingerprint(&moved, 1));
+        assert_ne!(base, geometry_fingerprint(&coords()[..9], 1));
+    }
+
+    #[test]
+    fn fingerprint_ignores_nothing_on_empty() {
+        // Empty inputs at different strides still disagree.
+        assert_ne!(geometry_fingerprint(&[], 1), geometry_fingerprint(&[], 2));
+    }
+
+    #[test]
+    fn tracer_collects_in_order() {
+        let relu = ReLU::new("r");
+        let bn = BatchNorm::identity("b", 4);
+        let mut t = Tracer::new();
+        t.push(LayerOp::Relu(&relu));
+        t.push(LayerOp::BatchNorm(&bn));
+        t.push(LayerOp::Push);
+        assert_eq!(t.ops().len(), 3);
+        let ops = t.into_ops();
+        assert!(matches!(ops[0], LayerOp::Relu(_)));
+        assert!(matches!(ops[1], LayerOp::BatchNorm(_)));
+        assert!(matches!(ops[2], LayerOp::Push));
+    }
+
+    #[test]
+    fn stats_default_to_zero() {
+        let s = PlanCacheStats::default();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 0, 0));
+    }
+}

@@ -8,6 +8,7 @@
 use crate::context::Context;
 use crate::dataflow::apply_storage_precision;
 use crate::module::Module;
+use crate::plan::{LayerOp, Tracer};
 use crate::{CoreError, SparseTensor};
 use torchsparse_gpusim::{AccessMode, ElemWidth, Stage};
 use torchsparse_tensor::Matrix;
@@ -32,8 +33,8 @@ fn charge_pointwise(n: usize, c: usize, ctx: &mut Context) {
     ctx.mem.read(base, 0, bytes, mode);
     ctx.mem.write(base, 0, bytes, mode);
     let report = ctx.mem.take_report();
-    let latency = report.latency(&ctx.device)
-        + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
+    let latency =
+        report.latency(&ctx.device) + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
     ctx.timeline.add(Stage::Other, latency);
 }
 
@@ -74,17 +75,20 @@ impl BatchNorm {
     pub fn channels(&self) -> usize {
         self.scale.len()
     }
-}
 
-impl Module for BatchNorm {
-    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+    /// The feature-path work, without the per-layer profile wrap (the
+    /// dynamic `forward` and the compiled session each add their own).
+    pub(crate) fn execute_planned(
+        &self,
+        input: &SparseTensor,
+        ctx: &mut Context,
+    ) -> Result<SparseTensor, CoreError> {
         if input.channels() != self.channels() {
             return Err(CoreError::ChannelMismatch {
                 expected: self.channels(),
                 actual: input.channels(),
             });
         }
-        let profile_start = ctx.start_layer_profile();
         let pool = ctx.runtime.pool();
         let mut feats = input.feats().clone();
         feats.par_map_rows_inplace(&pool, |row| {
@@ -94,8 +98,21 @@ impl Module for BatchNorm {
         });
         let feats = apply_storage_precision(&pool, &feats, ctx.config.precision);
         charge_pointwise(input.len(), input.channels(), ctx);
-        ctx.finish_layer_profile(&self.name, input.len(), profile_start);
         input.with_feats(feats)
+    }
+}
+
+impl Module for BatchNorm {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        let profile_start = ctx.start_layer_profile();
+        let out = self.execute_planned(input, ctx)?;
+        ctx.finish_layer_profile(&self.name, input.len(), profile_start);
+        Ok(out)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        tracer.push(LayerOp::BatchNorm(self));
+        Ok(())
     }
 
     fn name(&self) -> &str {
@@ -118,16 +135,31 @@ impl ReLU {
     pub fn new(name: impl Into<String>) -> ReLU {
         ReLU { name: name.into() }
     }
+
+    /// The feature-path work, without the per-layer profile wrap.
+    pub(crate) fn execute_planned(
+        &self,
+        input: &SparseTensor,
+        ctx: &mut Context,
+    ) -> Result<SparseTensor, CoreError> {
+        let mut feats = input.feats().clone();
+        feats.par_map_inplace(&ctx.runtime.pool(), |v| v.max(0.0));
+        charge_pointwise(input.len(), input.channels(), ctx);
+        input.with_feats(feats)
+    }
 }
 
 impl Module for ReLU {
     fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
         let profile_start = ctx.start_layer_profile();
-        let mut feats = input.feats().clone();
-        feats.par_map_inplace(&ctx.runtime.pool(), |v| v.max(0.0));
-        charge_pointwise(input.len(), input.channels(), ctx);
+        let out = self.execute_planned(input, ctx)?;
         ctx.finish_layer_profile(&self.name, input.len(), profile_start);
-        input.with_feats(feats)
+        Ok(out)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        tracer.push(LayerOp::Relu(self));
+        Ok(())
     }
 
     fn name(&self) -> &str {
@@ -147,10 +179,14 @@ impl GlobalPool {
     pub fn new(name: impl Into<String>) -> GlobalPool {
         GlobalPool { name: name.into() }
     }
-}
 
-impl Module for GlobalPool {
-    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+    /// The feature-path work (per-batch means). Output geometry is one
+    /// point per batch at the origin, derived from the input's batches.
+    pub(crate) fn execute_planned(
+        &self,
+        input: &SparseTensor,
+        ctx: &mut Context,
+    ) -> Result<SparseTensor, CoreError> {
         if input.is_empty() {
             return Err(CoreError::EmptyInput);
         }
@@ -170,13 +206,22 @@ impl Module for GlobalPool {
                 *s += v;
             }
         }
-        let coords: Vec<_> = batches
-            .iter()
-            .map(|&b| torchsparse_coords::Coord::new(b, 0, 0, 0))
-            .collect();
+        let coords: Vec<_> =
+            batches.iter().map(|&b| torchsparse_coords::Coord::new(b, 0, 0, 0)).collect();
         let feats = Matrix::from_fn(batches.len(), c, |r, col| sums[r][col] / counts[r] as f32);
         charge_pointwise(input.len(), c, ctx);
         SparseTensor::with_stride(coords, feats, input.stride())
+    }
+}
+
+impl Module for GlobalPool {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        self.execute_planned(input, ctx)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        tracer.push(LayerOp::GlobalPool(self));
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -6,11 +6,13 @@
 //! convolution (output coordinate calculation + kernel map search + map
 //! caching) and performs a per-channel max-reduction instead of GEMM.
 
-use crate::context::{CachedMap, Context, MapKey};
 use crate::config::Precision;
+use crate::context::{CachedMap, Context, MapKey};
 use crate::mapping::build_layer_mapping;
 use crate::module::Module;
+use crate::plan::{LayerOp, PoolPlan, Tracer};
 use crate::{CoreError, SparseTensor};
+use torchsparse_coords::Coord;
 use torchsparse_gpusim::{AccessMode, ElemWidth, Stage};
 use torchsparse_tensor::Matrix;
 
@@ -56,12 +58,7 @@ impl SparseMaxPool3d {
     pub fn new(name: impl Into<String>, kernel_size: usize, stride: i32) -> SparseMaxPool3d {
         assert!(kernel_size > 0, "kernel size must be positive");
         assert!(stride >= 1, "stride must be at least 1");
-        SparseMaxPool3d {
-            name: name.into(),
-            kernel_size,
-            stride,
-            reduction: PoolReduction::Max,
-        }
+        SparseMaxPool3d { name: name.into(), kernel_size, stride, reduction: PoolReduction::Max }
     }
 
     /// Creates an average pooling layer with the same window semantics.
@@ -89,19 +86,21 @@ impl SparseMaxPool3d {
     pub fn reduction(&self) -> PoolReduction {
         self.reduction
     }
-}
 
-impl Module for SparseMaxPool3d {
-    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
-        if input.is_empty() {
+    /// The plan half: acquires the kernel map (shared with convolution —
+    /// pooling and convolution with the same (stride, kernel) share one
+    /// map, as in real engines) and freezes the output geometry.
+    pub(crate) fn plan(
+        &self,
+        coords: &[Coord],
+        in_stride: i32,
+        ctx: &mut Context,
+    ) -> Result<PoolPlan, CoreError> {
+        if coords.is_empty() {
             return Err(CoreError::EmptyInput);
         }
-        ctx.charge_host_op();
-
-        // Mapping, via the shared cache (pooling and convolution with the
-        // same (stride, kernel) share one map, as in real engines).
         let key = MapKey {
-            fine_stride: input.stride(),
+            fine_stride: in_stride,
             kernel_size: self.kernel_size,
             conv_stride: self.stride,
             dilation: 1,
@@ -110,7 +109,7 @@ impl Module for SparseMaxPool3d {
             Some(hit) => hit,
             None => {
                 let mapping = build_layer_mapping(
-                    input.coords(),
+                    coords,
                     self.kernel_size,
                     self.stride,
                     &ctx.config,
@@ -121,15 +120,32 @@ impl Module for SparseMaxPool3d {
                     key,
                     CachedMap {
                         map: mapping.map,
-                        fine_coords: input.coords().to_vec(),
+                        fine_coords: coords.to_vec(),
                         coarse_coords: mapping.out_coords,
                     },
                 )
             }
         };
-        let out_coords = if self.stride == 1 { &cached.fine_coords } else { &cached.coarse_coords };
-        let out_stride =
-            if self.stride == 1 { input.stride() } else { input.stride() * self.stride };
+        let use_fine = self.stride == 1;
+        let out_stride = if use_fine { in_stride } else { in_stride * self.stride };
+        Ok(PoolPlan { cached, use_fine, out_stride })
+    }
+
+    /// The execute half: per-channel reduction over the frozen map, plus
+    /// the simulated memory cost. Never builds maps.
+    pub(crate) fn execute_planned(
+        &self,
+        input: &SparseTensor,
+        plan: &PoolPlan,
+        ctx: &mut Context,
+    ) -> Result<SparseTensor, CoreError> {
+        if input.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        ctx.charge_host_op();
+        let cached = &plan.cached;
+        let out_coords = plan.out_coords();
+        let out_stride = plan.out_stride;
 
         let c = input.channels();
         let init = match self.reduction {
@@ -197,7 +213,19 @@ impl Module for SparseMaxPool3d {
         let report = ctx.mem.take_report();
         ctx.timeline.add(Stage::Other, report.latency(&ctx.device));
 
-        SparseTensor::with_stride(out_coords.clone(), out, out_stride)
+        SparseTensor::with_stride(out_coords.to_vec(), out, out_stride)
+    }
+}
+
+impl Module for SparseMaxPool3d {
+    fn forward(&self, input: &SparseTensor, ctx: &mut Context) -> Result<SparseTensor, CoreError> {
+        let plan = self.plan(input.coords(), input.stride(), ctx)?;
+        self.execute_planned(input, &plan, ctx)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        tracer.push(LayerOp::Pool(self));
+        Ok(())
     }
 
     fn name(&self) -> &str {

@@ -55,8 +55,7 @@ impl WorkspacePool {
         let needed = rows * cols;
         let mut best: Option<usize> = None;
         for (i, m) in self.free.iter().enumerate() {
-            if m.capacity() >= needed
-                && best.is_none_or(|b| m.capacity() < self.free[b].capacity())
+            if m.capacity() >= needed && best.is_none_or(|b| m.capacity() < self.free[b].capacity())
             {
                 best = Some(i);
             }
@@ -89,11 +88,8 @@ impl WorkspacePool {
         }
         if self.free.len() >= MAX_FREE_BUFFERS {
             // Keep the largest buffers: evict the smallest parked one.
-            if let Some((smallest, _)) = self
-                .free
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, b)| b.capacity())
+            if let Some((smallest, _)) =
+                self.free.iter().enumerate().min_by_key(|(_, b)| b.capacity())
             {
                 self.free.swap_remove(smallest);
             }

@@ -1,0 +1,508 @@
+//! Compiled inference sessions: plan once, execute per frame.
+//!
+//! Streaming workloads (LiDAR at 10-20 Hz) feed the network frames whose
+//! *geometry* is often identical — multi-frame fused inputs reuse the same
+//! voxel grid, and benchmark replay repeats one scene exactly. Dynamic
+//! execution still rebuilds every kernel map and re-plans matmul grouping
+//! per frame. A [`CompiledSession`] splits that work: [`Engine::compile`]
+//! traces the model into a flat [`LayerOp`] sequence and runs every
+//! geometric derivation once, freezing the results into an immutable
+//! [`ExecutionPlan`] keyed by the input's [`geometry_fingerprint`];
+//! [`CompiledSession::execute`] then runs only the feature path. A frame
+//! with a different fingerprint transparently re-plans (counted in
+//! [`PlanCacheStats`]).
+
+use crate::context::Context;
+use crate::engine::Engine;
+use crate::faults::DegradationReport;
+use crate::module::Module;
+use crate::plan::{
+    geometry_fingerprint, ConvPlan, ExecutionPlan, LayerOp, PlanCacheStats, StepPlan, Tracer,
+};
+use crate::{CoreError, SparseTensor};
+use torchsparse_coords::Coord;
+use torchsparse_gpusim::{Micros, Timeline};
+
+/// The geometry cursor threaded through planning: what the tensor flowing
+/// through the network looks like after each op, without any features.
+#[derive(Debug, Clone)]
+struct Geometry {
+    coords: Vec<Coord>,
+    stride: i32,
+    channels: usize,
+}
+
+/// A model compiled against one input geometry.
+///
+/// Created by [`Engine::compile`]; owns the engine for its lifetime and
+/// borrows the model's layers (`'m`).
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::{Engine, EnginePreset, ReLU, Sequential, SparseConv3d, SparseTensor};
+/// use torchsparse_coords::Coord;
+/// use torchsparse_gpusim::DeviceProfile;
+/// use torchsparse_tensor::Matrix;
+///
+/// # fn main() -> Result<(), torchsparse_core::CoreError> {
+/// let model = Sequential::new("net")
+///     .push(SparseConv3d::with_random_weights("conv", 2, 4, 3, 1, 7))
+///     .push(ReLU::new("act"));
+/// let frame = SparseTensor::new(
+///     vec![Coord::new(0, 0, 0, 0), Coord::new(0, 1, 0, 0)],
+///     Matrix::filled(2, 2, 1.0),
+/// )?;
+/// let engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_3090());
+/// let mut session = engine.compile(&model, &frame)?;
+/// let y = session.execute(&frame)?;        // feature path only
+/// assert_eq!(y.channels(), 4);
+/// assert_eq!(session.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompiledSession<'m> {
+    engine: Engine,
+    ops: Vec<LayerOp<'m>>,
+    plan: ExecutionPlan,
+    stats: PlanCacheStats,
+    planning: Timeline,
+    planning_degradation: DegradationReport,
+}
+
+impl<'m> CompiledSession<'m> {
+    /// Traces `model`, plans every layer against `input`'s geometry, and
+    /// freezes the result. Called via [`Engine::compile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Untraceable`] for models without a `trace`
+    /// implementation, plus validation and mapping errors from planning.
+    pub(crate) fn compile<M: Module + ?Sized>(
+        mut engine: Engine,
+        model: &'m M,
+        input: &SparseTensor,
+    ) -> Result<CompiledSession<'m>, CoreError> {
+        let mut tracer = Tracer::new();
+        model.trace(&mut tracer)?;
+        let ops = tracer.into_ops();
+
+        let ctx = engine.context_mut();
+        ctx.begin_run();
+        let sanitized = {
+            let Context { config, faults, degradation, .. } = ctx;
+            crate::validate::validate_input(input, &config.validation, faults, degradation)?
+        };
+        let tensor = sanitized.as_ref().unwrap_or(input);
+        let fingerprint = geometry_fingerprint(tensor.coords(), tensor.stride());
+        let plan = build_plan(&ops, tensor, fingerprint, ctx)?;
+        let planning = ctx.timeline.clone();
+        let planning_degradation = ctx.degradation.clone();
+
+        Ok(CompiledSession {
+            engine,
+            ops,
+            plan,
+            stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+            planning,
+            planning_degradation,
+        })
+    }
+
+    /// Runs one frame through the frozen plan: only feature-path work
+    /// (gather/matmul/scatter, reductions, pointwise sweeps) executes.
+    ///
+    /// If the frame's geometry fingerprint mismatches the plan, the session
+    /// transparently re-plans against the new geometry first — that frame
+    /// pays the mapping cost again and the miss is counted in
+    /// [`CompiledSession::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Validation failures, plus any [`CoreError`] from the layers.
+    pub fn execute(&mut self, input: &SparseTensor) -> Result<SparseTensor, CoreError> {
+        let ctx = self.engine.context_mut();
+        ctx.begin_run();
+        let sanitized = {
+            let Context { config, faults, degradation, .. } = ctx;
+            crate::validate::validate_input(input, &config.validation, faults, degradation)?
+        };
+        let tensor = sanitized.as_ref().unwrap_or(input);
+        let fingerprint = geometry_fingerprint(tensor.coords(), tensor.stride());
+        if fingerprint == self.plan.fingerprint {
+            self.stats.hits += 1;
+        } else {
+            // Geometry changed: rebuild the whole plan. The re-plan cost
+            // lands in this frame's timeline, exactly like a dynamic run.
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            self.plan = build_plan(&self.ops, tensor, fingerprint, ctx)?;
+            self.planning = ctx.timeline.clone();
+            self.planning_degradation = ctx.degradation.clone();
+        }
+        run_steps(&self.ops, &self.plan, tensor, self.engine.context_mut())
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (e.g. to arm faults between frames).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Plan-reuse counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// The frozen execution plan currently in force.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Number of traced layer ops.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Per-stage cost of the most recent planning pass (the compile, or the
+    /// last re-plan). This is the work [`CompiledSession::execute`] no
+    /// longer pays on plan hits.
+    pub fn planning_timeline(&self) -> &Timeline {
+        &self.planning
+    }
+
+    /// Degradation decisions taken during the most recent planning pass
+    /// (e.g. an injected grid-table fault degrading the mapping strategy).
+    pub fn planning_degradation(&self) -> &DegradationReport {
+        &self.planning_degradation
+    }
+
+    /// Per-stage latency of the last [`CompiledSession::execute`].
+    pub fn last_timeline(&self) -> &Timeline {
+        self.engine.last_timeline()
+    }
+
+    /// Total simulated latency of the last [`CompiledSession::execute`].
+    pub fn last_latency(&self) -> Micros {
+        self.engine.last_latency()
+    }
+
+    /// Degradation decisions of the last [`CompiledSession::execute`].
+    pub fn degradation_report(&self) -> &DegradationReport {
+        self.engine.degradation_report()
+    }
+}
+
+impl std::fmt::Debug for CompiledSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSession")
+            .field("ops", &self.ops.len())
+            .field("fingerprint", &self.plan.fingerprint)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Plans every op against the geometry cursor, producing the index-aligned
+/// [`StepPlan`] list. Only geometric work happens here (map building,
+/// output coordinate computation, grouping); features are never read.
+fn build_plan(
+    ops: &[LayerOp<'_>],
+    input: &SparseTensor,
+    fingerprint: u64,
+    ctx: &mut Context,
+) -> Result<ExecutionPlan, CoreError> {
+    let mut cur = Geometry {
+        coords: input.coords().to_vec(),
+        stride: input.stride(),
+        channels: input.channels(),
+    };
+    let mut stack: Vec<Geometry> = Vec::new();
+    let mut steps = Vec::with_capacity(ops.len());
+    for op in ops {
+        let step = match op {
+            LayerOp::Conv(conv) => {
+                let p = conv.plan(&cur.coords, cur.stride, cur.channels, ctx)?;
+                cur = Geometry {
+                    coords: p.out_coords().to_vec(),
+                    stride: p.out_stride,
+                    channels: conv.c_out(),
+                };
+                StepPlan::Conv(p)
+            }
+            LayerOp::Pool(pool) => {
+                let p = pool.plan(&cur.coords, cur.stride, ctx)?;
+                cur = Geometry {
+                    coords: p.out_coords().to_vec(),
+                    stride: p.out_stride,
+                    channels: cur.channels,
+                };
+                StepPlan::Pool(p)
+            }
+            LayerOp::BatchNorm(bn) => {
+                if cur.channels != bn.channels() {
+                    return Err(CoreError::ChannelMismatch {
+                        expected: bn.channels(),
+                        actual: cur.channels,
+                    });
+                }
+                StepPlan::Pointwise
+            }
+            LayerOp::Relu(_) => StepPlan::Pointwise,
+            LayerOp::GlobalPool(_) => {
+                if cur.coords.is_empty() {
+                    return Err(CoreError::EmptyInput);
+                }
+                let mut batches: Vec<i32> = cur.coords.iter().map(|c| c.batch).collect();
+                batches.sort_unstable();
+                batches.dedup();
+                cur.coords = batches.iter().map(|&b| Coord::new(b, 0, 0, 0)).collect();
+                StepPlan::GlobalPool
+            }
+            LayerOp::Push => {
+                stack.push(cur.clone());
+                StepPlan::Push
+            }
+            LayerOp::PopConcat => {
+                let saved = stack
+                    .pop()
+                    .ok_or(CoreError::PlanMismatch { reason: "concat pops an empty stack" })?;
+                cur.channels += saved.channels;
+                StepPlan::PopConcat
+            }
+            LayerOp::ResidualAdd { projection } => {
+                let saved = stack
+                    .pop()
+                    .ok_or(CoreError::PlanMismatch { reason: "residual pops an empty stack" })?;
+                let proj: Option<ConvPlan> = match projection {
+                    Some(conv) => {
+                        Some(conv.plan(&saved.coords, saved.stride, saved.channels, ctx)?)
+                    }
+                    None => None,
+                };
+                StepPlan::Residual { projection: proj }
+            }
+        };
+        steps.push(step);
+    }
+    Ok(ExecutionPlan { fingerprint, steps })
+}
+
+/// Runs the feature path of every op against its frozen step plan.
+///
+/// Profile wrapping matches dynamic execution exactly: convolution, batch
+/// norm, and ReLU wrap their work in a per-layer profile; pooling and
+/// global pooling do not (their dynamic `forward`s never did).
+fn run_steps(
+    ops: &[LayerOp<'_>],
+    plan: &ExecutionPlan,
+    input: &SparseTensor,
+    ctx: &mut Context,
+) -> Result<SparseTensor, CoreError> {
+    if ops.len() != plan.steps.len() {
+        return Err(CoreError::PlanMismatch { reason: "op/step count differs" });
+    }
+    let mut cur: Option<SparseTensor> = None;
+    let mut stack: Vec<SparseTensor> = Vec::new();
+    for (op, step) in ops.iter().zip(&plan.steps) {
+        let x = match &cur {
+            Some(t) => t,
+            None => input,
+        };
+        let next = match (op, step) {
+            (LayerOp::Conv(conv), StepPlan::Conv(p)) => {
+                let profile_start = ctx.start_layer_profile();
+                let out = conv.execute_planned(x, p, ctx)?;
+                ctx.finish_layer_profile(conv.layer_name(), x.len(), profile_start);
+                Some(out)
+            }
+            (LayerOp::Pool(pool), StepPlan::Pool(p)) => Some(pool.execute_planned(x, p, ctx)?),
+            (LayerOp::BatchNorm(bn), StepPlan::Pointwise) => {
+                let profile_start = ctx.start_layer_profile();
+                let out = bn.execute_planned(x, ctx)?;
+                ctx.finish_layer_profile(bn.name(), x.len(), profile_start);
+                Some(out)
+            }
+            (LayerOp::Relu(relu), StepPlan::Pointwise) => {
+                let profile_start = ctx.start_layer_profile();
+                let out = relu.execute_planned(x, ctx)?;
+                ctx.finish_layer_profile(relu.name(), x.len(), profile_start);
+                Some(out)
+            }
+            (LayerOp::GlobalPool(gp), StepPlan::GlobalPool) => Some(gp.execute_planned(x, ctx)?),
+            (LayerOp::Push, StepPlan::Push) => {
+                stack.push(x.clone());
+                cur.clone()
+            }
+            (LayerOp::PopConcat, StepPlan::PopConcat) => {
+                let saved = stack
+                    .pop()
+                    .ok_or(CoreError::PlanMismatch { reason: "concat pops an empty stack" })?;
+                Some(x.cat_features(&saved)?)
+            }
+            (LayerOp::ResidualAdd { projection }, StepPlan::Residual { projection: proj }) => {
+                let saved = stack
+                    .pop()
+                    .ok_or(CoreError::PlanMismatch { reason: "residual pops an empty stack" })?;
+                let shortcut = match (projection, proj) {
+                    (Some(conv), Some(p)) => {
+                        let profile_start = ctx.start_layer_profile();
+                        let out = conv.execute_planned(&saved, p, ctx)?;
+                        ctx.finish_layer_profile(conv.layer_name(), saved.len(), profile_start);
+                        out
+                    }
+                    (None, None) => saved,
+                    _ => {
+                        return Err(CoreError::PlanMismatch {
+                            reason: "residual projection presence differs",
+                        })
+                    }
+                };
+                let sum = x.feats() + shortcut.feats();
+                Some(x.with_feats(sum)?)
+            }
+            _ => return Err(CoreError::PlanMismatch { reason: "op/step kind differs" }),
+        };
+        if next.is_some() {
+            cur = next;
+        }
+    }
+    match cur {
+        Some(t) => Ok(t),
+        None => Ok(input.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnginePreset;
+    use crate::{ReLU, Sequential, SparseConv3d, SparseMaxPool3d};
+    use torchsparse_gpusim::{DeviceProfile, Stage};
+    use torchsparse_tensor::Matrix;
+
+    fn scene(seed: i32) -> SparseTensor {
+        let coords: Vec<Coord> = (0..30)
+            .map(|i| Coord::new(0, (i + seed) % 7, (i / 7) % 4, i % 3))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let n = coords.len();
+        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| ((r * 3 + c) % 5) as f32 - 2.0))
+            .unwrap()
+    }
+
+    fn model() -> Sequential {
+        Sequential::new("net")
+            .push(SparseConv3d::with_random_weights("conv1", 4, 8, 3, 1, 1))
+            .push(ReLU::new("act1"))
+            .push(SparseMaxPool3d::new("pool", 2, 2))
+            .push(SparseConv3d::with_random_weights("conv2", 8, 4, 3, 1, 2))
+    }
+
+    fn engine() -> Engine {
+        Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti())
+    }
+
+    #[test]
+    fn compiled_matches_dynamic_bitwise() {
+        let m = model();
+        let x = scene(0);
+        let mut dynamic = engine();
+        let expected = dynamic.run(&m, &x).unwrap();
+        let mut session = engine().compile(&m, &x).unwrap();
+        let got = session.execute(&x).unwrap();
+        assert_eq!(expected.coords(), got.coords());
+        let a: Vec<u32> = expected.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = got.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "compiled output must be bitwise identical");
+    }
+
+    #[test]
+    fn execute_skips_mapping_on_plan_hit() {
+        let m = model();
+        let x = scene(0);
+        let mut dynamic = engine();
+        dynamic.run(&m, &x).unwrap();
+        let dyn_mapping = dynamic.last_timeline().stage(Stage::Mapping);
+        assert!(dyn_mapping.as_f64() > 0.0);
+
+        let mut session = engine().compile(&m, &x).unwrap();
+        assert!(session.planning_timeline().stage(Stage::Mapping).as_f64() > 0.0);
+        session.execute(&x).unwrap();
+        assert_eq!(
+            session.last_timeline().stage(Stage::Mapping).as_f64(),
+            0.0,
+            "plan hits must not rebuild maps"
+        );
+        assert!(session.last_latency() < dynamic.last_latency());
+    }
+
+    #[test]
+    fn geometry_change_invalidates_and_replans() {
+        let m = model();
+        let a = scene(0);
+        let b = scene(3);
+        let mut session = engine().compile(&m, &a).unwrap();
+        session.execute(&a).unwrap();
+        let y = session.execute(&b).unwrap();
+        assert_eq!(session.stats(), PlanCacheStats { hits: 1, misses: 2, invalidations: 1 });
+        let mut dynamic = engine();
+        let expected = dynamic.run(&m, &b).unwrap();
+        assert_eq!(expected.feats(), y.feats(), "replanned output must match dynamic");
+        // The invalidated frame pays mapping again.
+        assert!(session.last_timeline().stage(Stage::Mapping).as_f64() > 0.0);
+    }
+
+    #[test]
+    fn untraceable_module_fails_to_compile() {
+        struct Opaque;
+        impl Module for Opaque {
+            fn forward(
+                &self,
+                input: &SparseTensor,
+                _ctx: &mut Context,
+            ) -> Result<SparseTensor, CoreError> {
+                Ok(input.clone())
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+        }
+        let x = scene(0);
+        let err = engine().compile(&Opaque, &x).unwrap_err();
+        assert!(matches!(err, CoreError::Untraceable { .. }));
+    }
+
+    #[test]
+    fn empty_op_list_is_identity() {
+        let m = Sequential::new("empty");
+        let x = scene(0);
+        let mut session = engine().compile(&m, &x).unwrap();
+        assert_eq!(session.num_ops(), 0);
+        let y = session.execute(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn profile_wrapping_matches_dynamic() {
+        let m = model();
+        let x = scene(0);
+        let mut dynamic = engine();
+        dynamic.context_mut().profile_layers = true;
+        dynamic.run(&m, &x).unwrap();
+        let dyn_names: Vec<String> =
+            dynamic.context().layer_profiles.iter().map(|p| p.name.clone()).collect();
+
+        let mut session = engine().compile(&m, &x).unwrap();
+        session.engine_mut().context_mut().profile_layers = true;
+        session.execute(&x).unwrap();
+        let ses_names: Vec<String> =
+            session.engine().context().layer_profiles.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(dyn_names, ses_names, "same layers must profile in both paths");
+    }
+}

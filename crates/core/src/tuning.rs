@@ -20,24 +20,15 @@ use crate::grouping::plan_groups;
 use crate::module::Module;
 use crate::{CoreError, SparseTensor};
 use std::collections::HashMap;
-use torchsparse_gpusim::{GemmModel, GemmShape, Micros};
 use torchsparse_gpusim::Precision as GemmPrecision;
+use torchsparse_gpusim::{GemmModel, GemmShape, Micros};
 
 /// The grid searched by [`tune_engine`] when none is supplied: 10 epsilon
 /// values x 8 thresholds = 80 configurations per layer (the paper's space
 /// is "usually < 1000").
 pub fn default_search_space() -> (Vec<f64>, Vec<usize>) {
     let epsilons = vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0];
-    let thresholds = vec![
-        0,
-        10_000,
-        30_000,
-        60_000,
-        120_000,
-        250_000,
-        500_000,
-        usize::MAX,
-    ];
+    let thresholds = vec![0, 10_000, 30_000, 60_000, 120_000, 250_000, 500_000, usize::MAX];
     (epsilons, thresholds)
 }
 
@@ -265,7 +256,7 @@ mod tests {
         assert!(e.degradation_report().count(FaultSite::GroupTuning) >= 1);
         // The engine still runs end-to-end with the fixed-grouping fallback.
         let out = e.run(&model(), &scene(1)).unwrap();
-        assert!(out.len() > 0);
+        assert!(!out.is_empty());
     }
 
     #[test]
@@ -279,13 +270,8 @@ mod tests {
     #[test]
     fn custom_search_space_respected() {
         let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
-        let report = tune_engine(
-            &mut e,
-            &model(),
-            &[scene(0)],
-            Some((vec![0.5], vec![1000])),
-        )
-        .unwrap();
+        let report =
+            tune_engine(&mut e, &model(), &[scene(0)], Some((vec![0.5], vec![1000]))).unwrap();
         assert_eq!(report.configs_searched, 1);
         assert_eq!(report.selected["c1"], (0.5, 1000));
     }

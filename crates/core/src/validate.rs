@@ -54,7 +54,11 @@ pub struct ValidationConfig {
 
 impl Default for ValidationConfig {
     fn default() -> Self {
-        ValidationConfig { policy: ValidationPolicy::Trust, max_points: None, max_grid_cells: u64::MAX }
+        ValidationConfig {
+            policy: ValidationPolicy::Trust,
+            max_points: None,
+            max_grid_cells: u64::MAX,
+        }
     }
 }
 
@@ -200,9 +204,8 @@ pub fn validate_input(
         if !sanitize {
             return Err(CoreError::NonFiniteFeatures { count: non_finite });
         }
-        let (_, f) = cur.get_or_insert_with(|| {
-            (input.coords().to_vec(), input.feats().as_slice().to_vec())
-        });
+        let (_, f) =
+            cur.get_or_insert_with(|| (input.coords().to_vec(), input.feats().as_slice().to_vec()));
         for v in f.iter_mut() {
             if !v.is_finite() {
                 *v = 0.0;
@@ -287,10 +290,7 @@ mod tests {
 
     #[test]
     fn trust_mode_skips_everything() {
-        let bad = tensor(
-            vec![Coord::new(0, 0, 0, 0), Coord::new(0, 0, 0, 0)],
-            vec![f32::NAN, 1.0],
-        );
+        let bad = tensor(vec![Coord::new(0, 0, 0, 0), Coord::new(0, 0, 0, 0)], vec![f32::NAN, 1.0]);
         let (out, report) = check(&bad, &ValidationConfig::trust());
         assert!(out.unwrap().is_none());
         assert!(report.is_empty());
@@ -329,10 +329,7 @@ mod tests {
 
     #[test]
     fn reject_flags_duplicates() {
-        let bad = tensor(
-            vec![Coord::new(0, 1, 2, 3), Coord::new(0, 1, 2, 3)],
-            vec![1.0, 2.0],
-        );
+        let bad = tensor(vec![Coord::new(0, 1, 2, 3), Coord::new(0, 1, 2, 3)], vec![1.0, 2.0]);
         let (out, _) = check(&bad, &ValidationConfig::reject());
         assert_eq!(
             out.unwrap_err(),
@@ -343,11 +340,7 @@ mod tests {
     #[test]
     fn sanitize_keeps_first_occurrence_of_duplicates() {
         let bad = tensor(
-            vec![
-                Coord::new(0, 1, 0, 0),
-                Coord::new(0, 2, 0, 0),
-                Coord::new(0, 1, 0, 0),
-            ],
+            vec![Coord::new(0, 1, 0, 0), Coord::new(0, 2, 0, 0), Coord::new(0, 1, 0, 0)],
             vec![10.0, 20.0, 30.0],
         );
         let (out, report) = check(&bad, &ValidationConfig::sanitize());
@@ -393,7 +386,10 @@ mod tests {
     #[test]
     fn extent_overflow_detected() {
         let wide = tensor(
-            vec![Coord::new(0, i32::MIN, i32::MIN, i32::MIN), Coord::new(0, i32::MAX, i32::MAX, i32::MAX)],
+            vec![
+                Coord::new(0, i32::MIN, i32::MIN, i32::MIN),
+                Coord::new(0, i32::MAX, i32::MAX, i32::MAX),
+            ],
             vec![1.0, 2.0],
         );
         // 2^32 cells per spatial axis overflows u64 in the product.
@@ -401,10 +397,7 @@ mod tests {
 
         let cfg = ValidationConfig::reject().with_max_grid_cells(1 << 28);
         let (out, _) = check(&wide, &cfg);
-        assert_eq!(
-            out.unwrap_err(),
-            CoreError::ExtentOverflow { cells: u64::MAX, limit: 1 << 28 }
-        );
+        assert_eq!(out.unwrap_err(), CoreError::ExtentOverflow { cells: u64::MAX, limit: 1 << 28 });
 
         let cfg = ValidationConfig::sanitize().with_max_grid_cells(1 << 28);
         let (out, report) = check(&wide, &cfg);

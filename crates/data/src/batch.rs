@@ -2,8 +2,8 @@
 //! distinct batch indices — the sparse-tensor equivalent of
 //! `torch.utils.data.default_collate`.
 
-use torchsparse_core::{CoreError, SparseTensor};
 use torchsparse_coords::Coord;
+use torchsparse_core::{CoreError, SparseTensor};
 use torchsparse_tensor::Matrix;
 
 /// Collates single-scene tensors into one batched tensor.
@@ -45,9 +45,7 @@ pub fn collate(scenes: &[SparseTensor]) -> Result<SparseTensor, CoreError> {
         if scene.stride() != stride {
             return Err(CoreError::Coords(torchsparse_coords::CoordsError::ZeroStride));
         }
-        coords.extend(
-            scene.coords().iter().map(|c| Coord::new(b as i32, c.x, c.y, c.z)),
-        );
+        coords.extend(scene.coords().iter().map(|c| Coord::new(b as i32, c.x, c.y, c.z)));
         feat_blocks.push(scene.feats());
     }
     let feats = Matrix::vstack(&feat_blocks).map_err(CoreError::from)?;
@@ -58,8 +56,8 @@ pub fn collate(scenes: &[SparseTensor]) -> Result<SparseTensor, CoreError> {
 mod tests {
     use super::*;
     use crate::SyntheticDataset;
-    use torchsparse_core::{Engine, EnginePreset, Module};
     use torchsparse_core::DeviceProfile;
+    use torchsparse_core::{Engine, EnginePreset, Module};
 
     #[test]
     fn collate_assigns_batch_indices() {
@@ -91,8 +89,7 @@ mod tests {
         let b = ds.scene(4).unwrap();
         let batch = collate(&[a.clone(), b.clone()]).unwrap();
 
-        let conv =
-            torchsparse_core::SparseConv3d::with_random_weights("c", 4, 6, 3, 1, 9);
+        let conv = torchsparse_core::SparseConv3d::with_random_weights("c", 4, 6, 3, 1, 9);
         let mut engine = Engine::new(EnginePreset::BaselineFp32, DeviceProfile::rtx_2080ti());
 
         let ya = engine.run(&conv, &a).unwrap();
@@ -101,8 +98,7 @@ mod tests {
 
         // Batched coordinates preserve scene order.
         for (i, c) in ybatch.coords().iter().enumerate() {
-            let (reference, idx) =
-                if i < a.len() { (&ya, i) } else { (&yb, i - a.len()) };
+            let (reference, idx) = if i < a.len() { (&ya, i) } else { (&yb, i - a.len()) };
             assert_eq!(c.xyz(), reference.coords()[idx].xyz());
             for ch in 0..6 {
                 let diff = (ybatch.feats()[(i, ch)] - reference.feats()[(idx, ch)]).abs();

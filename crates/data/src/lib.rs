@@ -20,6 +20,9 @@
 //!   [`SparseTensor`], deduplicating points per voxel.
 //! - [`aggregate_frames`]: multi-frame fusion with ego motion (the 1/3/10
 //!   frame settings of the paper's nuScenes and Waymo benchmarks).
+//! - [`geometry_static_stream`]: replayed frame streams with identical
+//!   coordinates and jittered features, the steady-state workload for
+//!   compiled inference sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +30,13 @@
 mod batch;
 mod lidar;
 mod multiframe;
+mod stream;
 mod voxelize;
 
 pub use batch::collate;
 pub use lidar::{LidarConfig, PointCloud};
 pub use multiframe::aggregate_frames;
+pub use stream::geometry_static_stream;
 pub use voxelize::{voxelize_scan, Voxelizer};
 
 /// A ready-made (generator, voxelizer) pair representing one benchmark
@@ -105,7 +110,10 @@ impl SyntheticDataset {
     ///
     /// Propagates [`torchsparse_core::CoreError`] from tensor construction
     /// (cannot occur for non-degenerate configurations).
-    pub fn scene(&self, index: u64) -> Result<torchsparse_core::SparseTensor, torchsparse_core::CoreError> {
+    pub fn scene(
+        &self,
+        index: u64,
+    ) -> Result<torchsparse_core::SparseTensor, torchsparse_core::CoreError> {
         if self.frames <= 1 {
             let scan = self.lidar.generate(index);
             voxelize_scan(&scan, self.voxel_size, self.channels)

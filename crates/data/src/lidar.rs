@@ -235,10 +235,7 @@ impl LidarConfig {
                 3 => (4.0 + 4.0 * rng.random::<f32>(), 1.0, 3.5),                     // walls
                 _ => (1.5, 1.5, 2.0 + rng.random::<f32>()),                           // misc
             };
-            boxes.push(BoxObstacle {
-                min: [cx - hx, cy - hy, 0.0],
-                max: [cx + hx, cy + hy, hz],
-            });
+            boxes.push(BoxObstacle { min: [cx - hx, cy - hy, 0.0], max: [cx + hx, cy + hy, hz] });
         }
         boxes
     }

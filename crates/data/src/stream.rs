@@ -1,0 +1,125 @@
+//! Geometry-static frame streams for steady-state inference benchmarks.
+//!
+//! A LiDAR pipeline that fuses sweeps into a fixed voxel grid (or replays a
+//! recorded scene) feeds the network frames whose *coordinates* repeat
+//! exactly while feature values drift — reflectance noise, per-sweep
+//! intensity jitter. That is the workload a
+//! [`CompiledSession`](torchsparse_core::CompiledSession) amortizes mapping
+//! and tuning over, and this module synthesizes it deterministically.
+
+use torchsparse_core::{CoreError, SparseTensor};
+
+/// The same splitmix64 generator the engine uses for weight initialization.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Produces a stream of `frames` tensors sharing `base`'s coordinates and
+/// stride exactly, with features perturbed by up to `±jitter` per value
+/// (frame 0 is `base` unchanged). Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors (cannot occur: the perturbed
+/// features keep `base`'s shape).
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::SparseTensor;
+/// use torchsparse_coords::Coord;
+/// use torchsparse_data::geometry_static_stream;
+/// use torchsparse_tensor::Matrix;
+///
+/// # fn main() -> Result<(), torchsparse_core::CoreError> {
+/// let base = SparseTensor::new(vec![Coord::new(0, 1, 2, 3)], Matrix::filled(1, 4, 0.5))?;
+/// let frames = geometry_static_stream(&base, 5, 0.01, 42)?;
+/// assert_eq!(frames.len(), 5);
+/// assert_eq!(frames[0], base);
+/// assert_eq!(frames[3].coords(), base.coords());
+/// # Ok(())
+/// # }
+/// ```
+pub fn geometry_static_stream(
+    base: &SparseTensor,
+    frames: usize,
+    jitter: f32,
+    seed: u64,
+) -> Result<Vec<SparseTensor>, CoreError> {
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        if f == 0 {
+            out.push(base.clone());
+            continue;
+        }
+        let mut state = seed ^ (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut feats = base.feats().clone();
+        for v in feats.as_mut_slice() {
+            // Uniform in [-jitter, jitter].
+            let u = (splitmix64(&mut state) >> 11) as f32 / (1u64 << 53) as f32;
+            *v += (2.0 * u - 1.0) * jitter;
+        }
+        out.push(base.with_feats(feats)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torchsparse_coords::Coord;
+    use torchsparse_tensor::Matrix;
+
+    fn base() -> SparseTensor {
+        let coords: Vec<Coord> = (0..12).map(|i| Coord::new(0, i, i % 4, 0)).collect();
+        SparseTensor::new(coords, Matrix::from_fn(12, 3, |r, c| (r + c) as f32 * 0.1)).unwrap()
+    }
+
+    #[test]
+    fn frames_share_geometry_exactly() {
+        let b = base();
+        let frames = geometry_static_stream(&b, 6, 0.05, 7).unwrap();
+        assert_eq!(frames.len(), 6);
+        for f in &frames {
+            assert_eq!(f.coords(), b.coords());
+            assert_eq!(f.stride(), b.stride());
+        }
+    }
+
+    #[test]
+    fn frame_zero_is_base_and_later_frames_differ() {
+        let b = base();
+        let frames = geometry_static_stream(&b, 3, 0.05, 7).unwrap();
+        assert_eq!(frames[0], b);
+        assert_ne!(frames[1].feats(), b.feats());
+        assert_ne!(frames[1].feats(), frames[2].feats());
+    }
+
+    #[test]
+    fn stream_is_deterministic_in_seed() {
+        let b = base();
+        let a = geometry_static_stream(&b, 4, 0.02, 9).unwrap();
+        let c = geometry_static_stream(&b, 4, 0.02, 9).unwrap();
+        assert_eq!(a, c);
+        let d = geometry_static_stream(&b, 4, 0.02, 10).unwrap();
+        assert_ne!(a[1].feats(), d[1].feats());
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let b = base();
+        let frames = geometry_static_stream(&b, 2, 0.01, 3).unwrap();
+        for (orig, new) in b.feats().as_slice().iter().zip(frames[1].feats().as_slice()) {
+            assert!((orig - new).abs() <= 0.01 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn zero_frames_is_empty() {
+        assert!(geometry_static_stream(&base(), 0, 0.1, 0).unwrap().is_empty());
+    }
+}

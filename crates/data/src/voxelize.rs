@@ -1,7 +1,7 @@
 use crate::PointCloud;
 use std::collections::HashMap;
-use torchsparse_core::{CoreError, SparseTensor};
 use torchsparse_coords::Coord;
+use torchsparse_core::{CoreError, SparseTensor};
 use torchsparse_tensor::Matrix;
 
 /// Quantizes point clouds into sparse voxel tensors.
@@ -54,10 +54,7 @@ impl Voxelizer {
     /// # Errors
     ///
     /// Same as [`Voxelizer::voxelize`].
-    pub fn voxelize_counted(
-        &self,
-        scan: &PointCloud,
-    ) -> Result<(SparseTensor, usize), CoreError> {
+    pub fn voxelize_counted(&self, scan: &PointCloud) -> Result<(SparseTensor, usize), CoreError> {
         // voxel -> (count, sum_intensity, sum_offset)
         let mut cells: HashMap<Coord, (usize, f32, [f32; 3])> = HashMap::new();
         let mut dropped = 0usize;

@@ -76,11 +76,8 @@ impl L2Cache {
         assert!(lines >= ways, "capacity too small for {ways} ways");
         // Round the set count down to a power of two for cheap indexing.
         let raw_sets = (lines / ways).max(1);
-        let sets = if raw_sets.is_power_of_two() {
-            raw_sets
-        } else {
-            raw_sets.next_power_of_two() / 2
-        };
+        let sets =
+            if raw_sets.is_power_of_two() { raw_sets } else { raw_sets.next_power_of_two() / 2 };
         L2Cache {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -98,7 +95,12 @@ impl L2Cache {
     /// Accesses one line; returns `(hit, dram_traffic)`. `touched_bytes` is
     /// how many sector-aligned bytes of the line the access covers (drives
     /// the DRAM charge on a miss / dirty transition).
-    fn access_line(&mut self, line: u64, is_write: bool, touched_bytes: u64) -> (bool, DramTraffic) {
+    fn access_line(
+        &mut self,
+        line: u64,
+        is_write: bool,
+        touched_bytes: u64,
+    ) -> (bool, DramTraffic) {
         let set_idx = (line & self.set_mask) as usize;
         let set = &mut self.sets[set_idx];
         let mut traffic = DramTraffic::default();

@@ -195,14 +195,9 @@ mod tests {
     fn fp16_faster_only_with_tensor_cores() {
         let shape = GemmShape::mm(100_000, 64, 64);
         let turing = GemmModel::new(DeviceProfile::rtx_2080ti());
-        assert!(
-            turing.latency(shape, Precision::Fp16) < turing.latency(shape, Precision::Fp32)
-        );
+        assert!(turing.latency(shape, Precision::Fp16) < turing.latency(shape, Precision::Fp32));
         let pascal = GemmModel::new(DeviceProfile::gtx_1080ti());
-        assert_eq!(
-            pascal.latency(shape, Precision::Fp16),
-            pascal.latency(shape, Precision::Fp32)
-        );
+        assert_eq!(pascal.latency(shape, Precision::Fp16), pascal.latency(shape, Precision::Fp32));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use torchsparse_core::{
-    BatchNorm, Context, CoreError, Module, ReLU, SparseConv3d, SparseTensor,
+    BatchNorm, Context, CoreError, LayerOp, Module, ReLU, SparseConv3d, SparseTensor, Tracer,
 };
 
 /// The ubiquitous conv → batch norm → ReLU unit.
@@ -54,6 +54,12 @@ impl Module for ConvBnReLU {
         let x = self.conv.forward(input, ctx)?;
         let x = self.bn.forward(&x, ctx)?;
         self.relu.forward(&x, ctx)
+    }
+
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        self.conv.trace(tracer)?;
+        self.bn.trace(tracer)?;
+        self.relu.trace(tracer)
     }
 
     fn name(&self) -> &str {
@@ -138,6 +144,19 @@ impl Module for ResidualBlock {
         self.relu.forward(&out, ctx)
     }
 
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        // Mirror `forward` exactly: save the input, run the main path, then
+        // add the (optionally projected) shortcut and apply the final ReLU.
+        tracer.push(LayerOp::Push);
+        self.conv1.trace(tracer)?;
+        self.bn1.trace(tracer)?;
+        self.relu.trace(tracer)?;
+        self.conv2.trace(tracer)?;
+        self.bn2.trace(tracer)?;
+        tracer.push(LayerOp::ResidualAdd { projection: self.projection.as_ref() });
+        self.relu.trace(tracer)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -154,8 +173,8 @@ impl Module for ResidualBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use torchsparse_core::{DeviceProfile, EnginePreset};
     use torchsparse_coords::Coord;
+    use torchsparse_core::{DeviceProfile, EnginePreset};
     use torchsparse_tensor::Matrix;
 
     fn ctx() -> Context {
@@ -163,8 +182,11 @@ mod tests {
     }
 
     fn input(c: usize) -> SparseTensor {
-        let coords: Vec<Coord> =
-            (0..30).map(|i| Coord::new(0, i % 6, (i / 6) % 5, i % 4)).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let coords: Vec<Coord> = (0..30)
+            .map(|i| Coord::new(0, i % 6, (i / 6) % 5, i % 4))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let n = coords.len();
         SparseTensor::new(coords, Matrix::from_fn(n, c, |r, cc| ((r * 3 + cc) % 5) as f32 - 2.0))
             .unwrap()
@@ -199,26 +221,10 @@ mod tests {
     fn residual_identity_shortcut_matters() {
         // With zeroed conv weights the block must reduce to ReLU(shortcut).
         let mut b = ResidualBlock::new("r", 4, 4, 4);
-        b.conv1 = SparseConv3d::new(
-            "z1",
-            4,
-            4,
-            3,
-            1,
-            false,
-            vec![Matrix::zeros(4, 4); 27],
-        )
-        .unwrap();
-        b.conv2 = SparseConv3d::new(
-            "z2",
-            4,
-            4,
-            3,
-            1,
-            false,
-            vec![Matrix::zeros(4, 4); 27],
-        )
-        .unwrap();
+        b.conv1 =
+            SparseConv3d::new("z1", 4, 4, 3, 1, false, vec![Matrix::zeros(4, 4); 27]).unwrap();
+        b.conv2 =
+            SparseConv3d::new("z2", 4, 4, 3, 1, false, vec![Matrix::zeros(4, 4); 27]).unwrap();
         let x = input(4);
         let y = b.forward(&x, &mut ctx()).unwrap();
         let mut expected = x.feats().clone();

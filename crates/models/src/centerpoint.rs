@@ -104,8 +104,8 @@ impl Module for CenterPoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use torchsparse_core::{DeviceProfile, Engine, EnginePreset};
     use torchsparse_coords::Coord;
+    use torchsparse_core::{DeviceProfile, Engine, EnginePreset};
     use torchsparse_tensor::Matrix;
 
     fn scene() -> SparseTensor {
@@ -122,8 +122,7 @@ mod tests {
             }
         }
         let n = coords.len();
-        SparseTensor::new(coords, Matrix::from_fn(n, 5, |r, c| ((r * c) % 7) as f32 * 0.2))
-            .unwrap()
+        SparseTensor::new(coords, Matrix::from_fn(n, 5, |r, c| ((r * c) % 7) as f32 * 0.2)).unwrap()
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::blocks::{ConvBnReLU, ResidualBlock};
-use torchsparse_core::{Context, CoreError, Module, SparseConv3d, SparseTensor};
+use torchsparse_core::{Context, CoreError, LayerOp, Module, SparseConv3d, SparseTensor, Tracer};
 
 /// MinkUNet (Choy et al. 2019): the standard 4-stage sparse UNet for
 /// semantic segmentation, at a configurable width multiplier.
@@ -77,7 +77,9 @@ impl MinkUNet {
             let s = seed.wrapping_add(10 + i as u64 * 3);
             let down = ConvBnReLU::new(format!("enc{i}.down"), c_prev, c, 2, 2, s);
             let blocks = (0..blocks_per_stage)
-                .map(|b| ResidualBlock::new(format!("enc{i}.block{}", b + 1), c, c, s ^ (b as u64 + 2)))
+                .map(|b| {
+                    ResidualBlock::new(format!("enc{i}.block{}", b + 1), c, c, s ^ (b as u64 + 2))
+                })
                 .collect();
             encoders.push((down, blocks));
             c_prev = c;
@@ -162,6 +164,33 @@ impl Module for MinkUNet {
         self.classifier.forward(&cur, ctx)
     }
 
+    fn trace<'m>(&'m self, tracer: &mut Tracer<'m>) -> Result<(), CoreError> {
+        self.stem1.trace(tracer)?;
+        self.stem2.trace(tracer)?;
+        // Mirror `forward`'s skip bookkeeping on the tracer's value stack:
+        // the stem output and every encoder stage except the bottleneck are
+        // saved, then popped in reverse by the decoder concatenations.
+        tracer.push(LayerOp::Push);
+        let last = self.encoders.len().saturating_sub(1);
+        for (i, (down, blocks)) in self.encoders.iter().enumerate() {
+            down.trace(tracer)?;
+            for b in blocks {
+                b.trace(tracer)?;
+            }
+            if i != last {
+                tracer.push(LayerOp::Push);
+            }
+        }
+        for (up, blocks) in &self.decoders {
+            up.trace(tracer)?;
+            tracer.push(LayerOp::PopConcat);
+            for b in blocks {
+                b.trace(tracer)?;
+            }
+        }
+        self.classifier.trace(tracer)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -192,20 +221,15 @@ impl Module for MinkUNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use torchsparse_core::{DeviceProfile, Engine, EnginePreset};
     use torchsparse_coords::Coord;
+    use torchsparse_core::{DeviceProfile, Engine, EnginePreset};
     use torchsparse_tensor::Matrix;
 
     fn scene() -> SparseTensor {
         // A dense-ish blob so that four stride-2 downsamples keep points.
         let mut coords = std::collections::BTreeSet::new();
         for i in 0..500 {
-            coords.insert(Coord::new(
-                0,
-                (i * 7) % 24,
-                ((i * 13) / 3) % 20,
-                (i * 3) % 16,
-            ));
+            coords.insert(Coord::new(0, (i * 7) % 24, ((i * 13) / 3) % 20, (i * 3) % 16));
         }
         let coords: Vec<Coord> = coords.into_iter().collect();
         let n = coords.len();
@@ -264,6 +288,26 @@ mod tests {
         let a = e.run(&net, &x).unwrap();
         let b = e.run(&net, &x).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_session_matches_dynamic_run() {
+        let net = MinkUNet::with_width(0.25, 4, 5, 13);
+        let x = scene();
+        let mut dynamic = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+        let expected = dynamic.run(&net, &x).unwrap();
+        let mut session = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti())
+            .compile(&net, &x)
+            .unwrap();
+        let got = session.execute(&x).unwrap();
+        assert_eq!(expected.coords(), got.coords());
+        let a: Vec<u32> = expected.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = got.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "compiled MinkUNet must be bitwise identical to dynamic");
+        assert!(
+            session.last_latency() < dynamic.last_latency(),
+            "plan reuse must beat per-frame mapping"
+        );
     }
 
     #[test]

@@ -17,10 +17,10 @@
 
 use crate::minkunet::MinkUNet;
 use std::collections::HashMap;
-use torchsparse_core::{Context, CoreError, Module, SparseTensor};
 use torchsparse_coords::Coord;
-use torchsparse_gpusim::{AccessMode, GemmShape, Stage};
+use torchsparse_core::{Context, CoreError, Module, SparseTensor};
 use torchsparse_gpusim::Precision as GemmPrecision;
+use torchsparse_gpusim::{AccessMode, GemmShape, Stage};
 use torchsparse_tensor::{gemm, Matrix};
 
 /// A point cloud with continuous positions and per-point features — the
@@ -42,10 +42,7 @@ impl PointScene {
     /// disagree.
     pub fn new(positions: Vec<[f32; 3]>, feats: Matrix) -> Result<PointScene, CoreError> {
         if positions.len() != feats.rows() {
-            return Err(CoreError::LengthMismatch {
-                coords: positions.len(),
-                feats: feats.rows(),
-            });
+            return Err(CoreError::LengthMismatch { coords: positions.len(), feats: feats.rows() });
         }
         Ok(PointScene { positions, feats })
     }
@@ -149,11 +146,7 @@ pub fn devoxelize_trilinear(
 
     for (i, p) in scene.positions.iter().enumerate() {
         // Position in voxel units, relative to voxel centers.
-        let u = [
-            p[0] / voxel_size - 0.5,
-            p[1] / voxel_size - 0.5,
-            p[2] / voxel_size - 0.5,
-        ];
+        let u = [p[0] / voxel_size - 0.5, p[1] / voxel_size - 0.5, p[2] / voxel_size - 0.5];
         let base = [u[0].floor(), u[1].floor(), u[2].floor()];
         let frac = [u[0] - base[0], u[1] - base[1], u[2] - base[2]];
         let mut total_w = 0.0f32;
@@ -210,8 +203,8 @@ fn charge_pv_transfer(reads: usize, writes: usize, channels: usize, ctx: &mut Co
         ctx.mem.write(dst, i as u64 * row, row, mode);
     }
     let report = ctx.mem.take_report();
-    let latency = report.latency(&ctx.device)
-        + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
+    let latency =
+        report.latency(&ctx.device) + torchsparse_gpusim::Micros(ctx.device.launch_overhead_us);
     ctx.timeline.add(Stage::Other, latency);
 }
 
@@ -306,6 +299,14 @@ impl Spvcnn {
         self.hidden
     }
 
+    /// The sparse voxel branch (a MinkUNet over `hidden` channels). Exposed
+    /// so streaming drivers can compile it into a
+    /// [`CompiledSession`](torchsparse_core::CompiledSession); the point
+    /// branch's voxelization is data-dependent and stays dynamic.
+    pub fn voxel_branch(&self) -> &MinkUNet {
+        &self.voxel_branch
+    }
+
     /// Runs the network: per-point class scores (`len x num_classes`).
     ///
     /// # Errors
@@ -322,8 +323,7 @@ impl Spvcnn {
         // Voxel branch: voxelize -> sparse UNet -> devoxelize.
         let (voxels, _p2v) = voxelize_features(&stem_scene, self.voxel_size, ctx)?;
         let voxel_out = self.voxel_branch.forward(&voxels, ctx)?;
-        let voxel_feats =
-            devoxelize_trilinear(&stem_scene, &voxel_out, self.voxel_size, ctx)?;
+        let voxel_feats = devoxelize_trilinear(&stem_scene, &voxel_out, self.voxel_size, ctx)?;
 
         // Point branch: MLP at full resolution.
         let point_feats = self.point_branch.forward(&stem, ctx)?;
@@ -410,9 +410,7 @@ mod tests {
         let s = PointScene::new(vec![[0.05, 0.05, 0.05]], Matrix::filled(1, 2, 1.0)).unwrap();
         let mut c = ctx();
         let (voxels, _) = voxelize_features(&s, 0.1, &mut c).unwrap();
-        let painted = voxels
-            .with_feats(Matrix::from_vec(1, 2, vec![4.0, -2.0]).unwrap())
-            .unwrap();
+        let painted = voxels.with_feats(Matrix::from_vec(1, 2, vec![4.0, -2.0]).unwrap()).unwrap();
         let out = devoxelize_trilinear(&s, &painted, 0.1, &mut c).unwrap();
         assert_eq!(out.row(0), &[4.0, -2.0]);
     }
@@ -448,9 +446,6 @@ mod tests {
     fn spvcnn_rejects_empty() {
         let net = Spvcnn::new(0.25, 4, 5, 0.2, 7);
         let empty = PointScene::new(vec![], Matrix::zeros(0, 4)).unwrap();
-        assert!(matches!(
-            net.forward(&empty, &mut ctx()),
-            Err(CoreError::EmptyInput)
-        ));
+        assert!(matches!(net.forward(&empty, &mut ctx()), Err(CoreError::EmptyInput)));
     }
 }

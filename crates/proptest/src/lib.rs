@@ -121,9 +121,7 @@ where
     // distinct inputs, yet every run of the same property is identical.
     let seed = property
         .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-        });
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..config.cases {
         if let Err(msg) = case(&mut rng) {
@@ -134,7 +132,7 @@ where
 
 /// Defines property-based `#[test]` functions.
 ///
-/// ```
+/// ```no_run
 /// use proptest::prelude::*;
 ///
 /// proptest! {

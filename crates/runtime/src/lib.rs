@@ -149,12 +149,7 @@ impl ThreadPool {
                     .unwrap_or_else(|e| panic!("failed to spawn pool worker: {e}"))
             })
             .collect();
-        ThreadPool {
-            shared,
-            workers,
-            threads,
-            recorder: recording.then(|| Mutex::new(Vec::new())),
-        }
+        ThreadPool { shared, workers, threads, recorder: recording.then(|| Mutex::new(Vec::new())) }
     }
 
     /// The process-wide shared pool.
@@ -250,9 +245,7 @@ impl ThreadPool {
                 // above and converted into a completion). Therefore no job
                 // outlives 'env, and erasing the lifetime to 'static for
                 // queue storage cannot create a dangling borrow.
-                let job: StaticJob = unsafe {
-                    std::mem::transmute::<Task<'env>, StaticJob>(job)
-                };
+                let job: StaticJob = unsafe { std::mem::transmute::<Task<'env>, StaticJob>(job) };
                 state.jobs.push_back(job);
             }
             self.shared.work_cv.notify_all();

@@ -97,7 +97,14 @@ pub fn mm_accumulate_on(
 /// `c_panel` is the panel's slice of C starting at row `row0`; the k-blocked
 /// loop order is identical for every caller, which is what keeps results
 /// bitwise reproducible across partitionings and thread counts.
-fn compute_panel(a_data: &[f32], b_data: &[f32], k: usize, n: usize, row0: usize, c_panel: &mut [f32]) {
+fn compute_panel(
+    a_data: &[f32],
+    b_data: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    c_panel: &mut [f32],
+) {
     let rows_here = c_panel.len() / n;
     for kb in (0..k).step_by(KBLOCK) {
         let k_end = (kb + KBLOCK).min(k);
@@ -123,7 +130,11 @@ fn check_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), TensorError> {
         return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: b.shape() });
     }
     if c.shape() != (a.rows(), b.cols()) {
-        return Err(TensorError::ShapeMismatch { op: "mm_out", lhs: c.shape(), rhs: (a.rows(), b.cols()) });
+        return Err(TensorError::ShapeMismatch {
+            op: "mm_out",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
     }
     Ok(())
 }
@@ -195,8 +206,7 @@ pub fn bmm_on(pool: &ThreadPool, a: &[Matrix], b: &[Matrix]) -> Result<Vec<Matri
     if a.is_empty() {
         return Ok(Vec::new());
     }
-    let mut out: Vec<Matrix> =
-        a.iter().map(|ai| Matrix::zeros(ai.rows(), b[0].cols())).collect();
+    let mut out: Vec<Matrix> = a.iter().map(|ai| Matrix::zeros(ai.rows(), b[0].cols())).collect();
     let a_refs: Vec<&Matrix> = a.iter().collect();
     let b_refs: Vec<&Matrix> = b.iter().collect();
     bmm_into_on(pool, &a_refs, &b_refs, &mut out)?;

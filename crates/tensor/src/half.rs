@@ -242,12 +242,7 @@ mod tests {
         let clean = [Half::ZERO, Half::ONE, Half::MAX];
         assert!(Half::all_finite(&clean));
         assert_eq!(Half::count_nonfinite(&clean), 0);
-        let dirty = [
-            Half::ONE,
-            Half::INFINITY,
-            Half::NEG_INFINITY,
-            Half::from_f32(f32::NAN),
-        ];
+        let dirty = [Half::ONE, Half::INFINITY, Half::NEG_INFINITY, Half::from_f32(f32::NAN)];
         assert!(!Half::all_finite(&dirty));
         assert_eq!(Half::count_nonfinite(&dirty), 3);
         assert!(Half::all_finite(&[]), "empty slice is finite");

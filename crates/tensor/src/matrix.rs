@@ -223,12 +223,7 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max))
     }
 
     /// Frobenius norm of the matrix.

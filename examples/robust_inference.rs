@@ -5,12 +5,12 @@
 //! cargo run --release --example robust_inference
 //! ```
 
+use torchsparse::coords::Coord;
 use torchsparse::core::tuning::tune_engine;
 use torchsparse::core::{
     CoreError, Engine, EnginePreset, FaultSite, ReLU, Sequential, SparseConv3d, SparseTensor,
     ValidationConfig,
 };
-use torchsparse::coords::Coord;
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::Matrix;
 
@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Even the tuner degrades instead of failing.
     let mut tuned = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_3090());
     tuned.context_mut().faults.arm(FaultSite::GroupTuning);
-    let report = tune_engine(&mut tuned, &net, &[out.clone()], None)?;
+    let report = tune_engine(&mut tuned, &net, std::slice::from_ref(&out), None)?;
     println!("tuning:   degraded = {}, inference still works = {}", report.degraded, {
         tuned.run(&net, &out).is_ok()
     });

@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = MinkUNet::with_width(1.0, 4, 19, 11);
     let device = DeviceProfile::rtx_2080ti();
 
-    println!("MinkUNet (1.0x) on {} scans of ~{} voxels, {}\n", scans.len(), scans[0].len(), device.name);
+    println!(
+        "MinkUNet (1.0x) on {} scans of ~{} voxels, {}\n",
+        scans.len(),
+        scans[0].len(),
+        device.name
+    );
     println!(
         "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "engine", "total", "matmul", "gather", "scatter", "mapping", "other"

@@ -1,11 +1,11 @@
 //! Convenience re-exports: `use torchsparse::prelude::*;` brings in the
 //! types needed for typical inference workflows.
 
+pub use torchsparse_coords::Coord;
 pub use torchsparse_core::{
     BatchNorm, Context, Engine, EnginePreset, GroupingStrategy, MapSearchStrategy, Module,
     OptimizationConfig, Precision, ReLU, Sequential, SparseConv3d, SparseMaxPool3d, SparseTensor,
 };
-pub use torchsparse_coords::Coord;
 pub use torchsparse_data::{collate, voxelize_scan, LidarConfig, SyntheticDataset};
 pub use torchsparse_gpusim::{DeviceProfile, Micros, Stage, Timeline};
 pub use torchsparse_models::{CenterPoint, MinkUNet, Spvcnn};

@@ -1,0 +1,201 @@
+//! Compiled sessions must be indistinguishable from dynamic execution:
+//! bitwise-identical outputs across every dataflow and precision, identical
+//! fault-degradation behavior, and transparent re-planning when the input
+//! geometry changes.
+
+use torchsparse::coords::Coord;
+use torchsparse::core::{
+    CompiledSession, CoreError, Engine, EnginePreset, FaultSite, Module, PlanCacheStats, Precision,
+    SparseTensor, Tracer,
+};
+use torchsparse::gpusim::{DeviceProfile, Stage};
+use torchsparse::models::{CenterPoint, MinkUNet, Spvcnn};
+use torchsparse::tensor::Matrix;
+
+/// A dense-ish blob so that four stride-2 downsamples keep points.
+fn scene(channels: usize, shift: i32) -> SparseTensor {
+    let mut coords = std::collections::BTreeSet::new();
+    for i in 0..500 {
+        coords.insert(Coord::new(0, (i * 7 + shift) % 24, ((i * 13) / 3) % 20, (i * 3) % 16));
+    }
+    let coords: Vec<Coord> = coords.into_iter().collect();
+    let n = coords.len();
+    SparseTensor::new(
+        coords,
+        Matrix::from_fn(n, channels, |r, c| ((r + 3 * c) % 9) as f32 * 0.25 - 1.0),
+    )
+    .expect("valid scene")
+}
+
+fn bits(t: &SparseTensor) -> Vec<u32> {
+    t.feats().as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn engine(preset: EnginePreset, precision: Precision) -> Engine {
+    let mut cfg = preset.config();
+    cfg.precision = precision;
+    Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
+}
+
+fn assert_compiled_matches_dynamic<M: Module>(model: &M, x: &SparseTensor, label: &str) {
+    for preset in
+        [EnginePreset::BaselineFp32, EnginePreset::TorchSparse, EnginePreset::MinkowskiEngine]
+    {
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let mut dynamic = engine(preset, precision);
+            let expected = dynamic.run(model, x).expect("dynamic run");
+            let mut session = engine(preset, precision).compile(model, x).expect("compile");
+            let got = session.execute(x).expect("compiled execute");
+            assert_eq!(expected.coords(), got.coords(), "{label} {preset:?}/{precision:?}");
+            assert_eq!(
+                bits(&expected),
+                bits(&got),
+                "{label} {preset:?}/{precision:?}: compiled output must be bitwise identical"
+            );
+            assert!(
+                session.last_latency() < dynamic.last_latency(),
+                "{label} {preset:?}/{precision:?}: plan reuse must beat dynamic"
+            );
+        }
+    }
+}
+
+#[test]
+fn minkunet_bitwise_identical_across_dataflows_and_precisions() {
+    let net = MinkUNet::with_width(0.25, 4, 3, 17);
+    assert_compiled_matches_dynamic(&net, &scene(4, 0), "MinkUNet");
+}
+
+#[test]
+fn spvcnn_voxel_branch_bitwise_identical_across_dataflows_and_precisions() {
+    let net = Spvcnn::new(0.25, 4, 8, 0.1, 23);
+    let branch = net.voxel_branch();
+    assert_compiled_matches_dynamic(branch, &scene(net.hidden(), 0), "SPVCNN voxel branch");
+}
+
+#[test]
+fn geometry_change_invalidates_plan_and_replans_correctly() {
+    let net = MinkUNet::with_width(0.25, 4, 3, 29);
+    let a = scene(4, 0);
+    let b = scene(4, 5);
+    assert_ne!(a.coords(), b.coords(), "scenes must differ geometrically");
+
+    let mut session =
+        engine(EnginePreset::TorchSparse, Precision::Fp16).compile(&net, &a).expect("compile");
+    session.execute(&a).expect("hit");
+    assert_eq!(
+        session.last_timeline().stage(Stage::Mapping).as_f64(),
+        0.0,
+        "plan hit must not rebuild maps"
+    );
+
+    let y = session.execute(&b).expect("replan");
+    assert_eq!(session.stats(), PlanCacheStats { hits: 1, misses: 2, invalidations: 1 });
+    assert!(
+        session.last_timeline().stage(Stage::Mapping).as_f64() > 0.0,
+        "the invalidated frame pays mapping again"
+    );
+
+    let mut dynamic = engine(EnginePreset::TorchSparse, Precision::Fp16);
+    let expected = dynamic.run(&net, &b).expect("dynamic on b");
+    assert_eq!(bits(&expected), bits(&y), "replanned output must match dynamic");
+
+    // Back to the original geometry: another invalidation (the session
+    // holds exactly one plan), then a hit.
+    session.execute(&a).expect("replan back");
+    session.execute(&a).expect("hit again");
+    assert_eq!(session.stats(), PlanCacheStats { hits: 2, misses: 3, invalidations: 2 });
+}
+
+#[test]
+fn planning_faults_degrade_identically_to_dynamic() {
+    // Mapping-path faults fire at plan time in a session and mid-forward in
+    // a dynamic run; the fallback (hashmap rebuild) is exact either way.
+    let net = MinkUNet::with_width(0.25, 4, 3, 31);
+    let x = scene(4, 0);
+
+    let mut dynamic = Engine::new(EnginePreset::SpConv, DeviceProfile::rtx_2080ti());
+    dynamic.context_mut().faults.arm_count(FaultSite::GridTableBuild, 4);
+    dynamic.context_mut().faults.arm(FaultSite::KernelMapCache);
+    let expected = dynamic.run(&net, &x).expect("degraded dynamic run");
+    assert!(dynamic.degradation_report().count(FaultSite::GridTableBuild) >= 1);
+
+    let mut clean_engine = Engine::new(EnginePreset::SpConv, DeviceProfile::rtx_2080ti());
+    clean_engine.context_mut().faults.arm_count(FaultSite::GridTableBuild, 4);
+    clean_engine.context_mut().faults.arm(FaultSite::KernelMapCache);
+    let mut session = clean_engine.compile(&net, &x).expect("degraded compile");
+    assert_eq!(
+        dynamic.degradation_report().events(),
+        session.planning_degradation().events(),
+        "planning must take the same degradation decisions as dynamic"
+    );
+
+    let got = session.execute(&x).expect("execute after degraded planning");
+    assert_eq!(bits(&expected), bits(&got), "degraded planning must stay exact");
+    assert!(session.degradation_report().is_empty(), "no fault fires on the pure feature path");
+}
+
+#[test]
+fn fp16_overflow_fault_degrades_identically_at_execute() {
+    let net = MinkUNet::with_width(0.25, 4, 3, 37);
+    let x = scene(4, 0);
+
+    let mut dynamic = engine(EnginePreset::TorchSparse, Precision::Fp16);
+    dynamic.context_mut().faults.arm(FaultSite::Fp16Overflow);
+    let expected = dynamic.run(&net, &x).expect("dynamic with overflow");
+    assert_eq!(dynamic.degradation_report().count(FaultSite::Fp16Overflow), 1);
+
+    let mut session =
+        engine(EnginePreset::TorchSparse, Precision::Fp16).compile(&net, &x).expect("compile");
+    assert!(
+        session.planning_degradation().is_empty(),
+        "overflow is a feature-path fault; planning must not trip it"
+    );
+    session.engine_mut().context_mut().faults.arm(FaultSite::Fp16Overflow);
+    let got = session.execute(&x).expect("execute with overflow");
+    assert_eq!(session.degradation_report().count(FaultSite::Fp16Overflow), 1);
+    assert_eq!(
+        bits(&expected),
+        bits(&got),
+        "the FP32 re-run fallback must behave identically under a frozen plan"
+    );
+}
+
+#[test]
+fn centerpoint_is_untraceable_by_design() {
+    // CenterPoint's detection head slices dense feature maps with
+    // data-dependent shapes; it cannot be expressed in the layer-op IR.
+    let net = CenterPoint::new(5, 3);
+    let mut tracer = Tracer::new();
+    let err = net.trace(&mut tracer).expect_err("must refuse to trace");
+    assert!(matches!(err, CoreError::Untraceable { .. }));
+
+    let x = scene(5, 0);
+    let engine = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
+    assert!(matches!(engine.compile(&net, &x), Err(CoreError::Untraceable { .. })));
+}
+
+#[test]
+fn compiled_session_profiles_match_dynamic_layer_for_layer() {
+    let net = MinkUNet::with_width(0.25, 4, 3, 41);
+    let x = scene(4, 0);
+
+    let mut dynamic = engine(EnginePreset::TorchSparse, Precision::Fp16);
+    dynamic.context_mut().profile_layers = true;
+    dynamic.run(&net, &x).expect("dynamic run");
+    let dyn_profiles: Vec<(String, usize)> =
+        dynamic.context().layer_profiles.iter().map(|p| (p.name.clone(), p.input_points)).collect();
+
+    let mut session: CompiledSession<'_> =
+        engine(EnginePreset::TorchSparse, Precision::Fp16).compile(&net, &x).expect("compile");
+    session.engine_mut().context_mut().profile_layers = true;
+    session.execute(&x).expect("execute");
+    let ses_profiles: Vec<(String, usize)> = session
+        .engine()
+        .context()
+        .layer_profiles
+        .iter()
+        .map(|p| (p.name.clone(), p.input_points))
+        .collect();
+    assert_eq!(dyn_profiles, ses_profiles, "same layers, same order, same input sizes");
+}

@@ -3,8 +3,8 @@
 //! stride/transpose round trips.
 
 use proptest::prelude::*;
-use torchsparse::core::{Engine, EnginePreset, Precision, SparseConv3d, SparseTensor};
 use torchsparse::coords::Coord;
+use torchsparse::core::{Engine, EnginePreset, Precision, SparseConv3d, SparseTensor};
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::{gemm, Matrix};
 
@@ -14,10 +14,7 @@ fn tensor_from(sites: &[(i32, i32, i32)], c: usize, seed: u64) -> SparseTensor {
     dedup.dedup();
     let coords: Vec<Coord> = dedup.iter().map(|&(x, y, z)| Coord::new(0, x, y, z)).collect();
     let feats = Matrix::from_fn(coords.len(), c, |r, ch| {
-        let v = (r as u64)
-            .wrapping_mul(0x9E37_79B9)
-            .wrapping_add(ch as u64)
-            .wrapping_mul(seed | 1);
+        let v = (r as u64).wrapping_mul(0x9E37_79B9).wrapping_add(ch as u64).wrapping_mul(seed | 1);
         ((v % 1000) as f32 - 500.0) / 250.0
     });
     SparseTensor::new(coords, feats).expect("valid tensor")

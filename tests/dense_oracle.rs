@@ -3,9 +3,9 @@
 //! and random sparsity patterns (property-based).
 
 use proptest::prelude::*;
-use torchsparse::core::{Engine, EnginePreset, SparseConv3d, SparseTensor};
 use torchsparse::coords::offsets::kernel_offsets;
 use torchsparse::coords::Coord;
+use torchsparse::core::{Engine, EnginePreset, SparseConv3d, SparseTensor};
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::dense::{submanifold_conv3d_reference, ConvWeights, DenseVolume};
 use torchsparse::tensor::Matrix;
@@ -38,9 +38,8 @@ fn weights_for(conv: &SparseConv3d, c: usize) -> ConvWeights {
 
 #[test]
 fn sparse_matches_dense_oracle_fixed_scene() {
-    let sites: Vec<(usize, usize, usize)> = (0..60)
-        .map(|i| ((i * 7) % 6 + 1, (i * 5) % 6 + 1, (i * 11) % 6 + 1))
-        .collect();
+    let sites: Vec<(usize, usize, usize)> =
+        (0..60).map(|i| ((i * 7) % 6 + 1, (i * 5) % 6 + 1, (i * 11) % 6 + 1)).collect();
     let c = 5;
     let (sparse, dense) = build_pair(&sites, [8, 8, 8], c);
     let conv = SparseConv3d::with_random_weights("c", c, c, 3, 1, 77);

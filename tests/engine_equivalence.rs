@@ -16,8 +16,7 @@ fn all_fp32_presets_agree_on_minkunet() {
     let input = scene();
     let model = MinkUNet::with_width(0.25, 4, 7, 3);
     let mut reference: Option<torchsparse::tensor::Matrix> = None;
-    for preset in
-        [EnginePreset::BaselineFp32, EnginePreset::MinkowskiEngine, EnginePreset::SpConv]
+    for preset in [EnginePreset::BaselineFp32, EnginePreset::MinkowskiEngine, EnginePreset::SpConv]
     {
         let mut engine = Engine::new(preset, DeviceProfile::rtx_2080ti());
         let out = engine.run(&model, &input).expect("inference");
@@ -70,8 +69,7 @@ fn torchsparse_is_fastest_preset_everywhere() {
     let det = CenterPoint::with_widths(5, &[8, 16], 2);
 
     for device in DeviceProfile::evaluation_devices() {
-        for (input, model) in
-            [(&seg_input, &seg as &dyn Module), (&det_input, &det as &dyn Module)]
+        for (input, model) in [(&seg_input, &seg as &dyn Module), (&det_input, &det as &dyn Module)]
         {
             let mut ts = Engine::new(EnginePreset::TorchSparse, device.clone());
             ts.context_mut().simulate_only = true;

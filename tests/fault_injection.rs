@@ -3,12 +3,12 @@
 //! degradation report, and — where the fallback is exact — produce the same
 //! output as a fault-free run.
 
+use torchsparse::coords::Coord;
 use torchsparse::core::tuning::tune_engine;
 use torchsparse::core::{
-    Engine, EnginePreset, FaultSite, Module, Precision, ReLU, Sequential, SparseConv3d,
-    SparseTensor, ValidationConfig,
+    Engine, EnginePreset, FaultSite, Precision, ReLU, Sequential, SparseConv3d, SparseTensor,
+    ValidationConfig,
 };
-use torchsparse::coords::Coord;
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::Matrix;
 
@@ -108,7 +108,8 @@ fn resource_budget_fault_sheds_points_under_sanitize() {
 fn group_tuning_fault_degrades_engine_but_inference_continues() {
     let mut e = Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti());
     e.context_mut().faults.arm(FaultSite::GroupTuning);
-    let report = tune_engine(&mut e, &model(), &[scene(4)], None).expect("tuning degrades, not errors");
+    let report =
+        tune_engine(&mut e, &model(), &[scene(4)], None).expect("tuning degrades, not errors");
 
     assert!(report.degraded);
     assert!(report.selected.is_empty());
@@ -116,7 +117,7 @@ fn group_tuning_fault_degrades_engine_but_inference_continues() {
     assert!(e.context().grouping_fallback);
 
     let out = e.run(&model(), &scene(5)).expect("fixed-grouping inference");
-    assert!(out.len() > 0);
+    assert!(!out.is_empty());
 }
 
 #[test]

@@ -5,11 +5,11 @@
 //! on the serial engine.
 
 use proptest::prelude::*;
+use torchsparse::coords::Coord;
 use torchsparse::core::{
     BatchNorm, Engine, EnginePreset, FaultSite, Module, OptimizationConfig, Precision, ReLU,
     Sequential, SparseConv3d, SparseTensor,
 };
-use torchsparse::coords::Coord;
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::Matrix;
 
@@ -23,10 +23,7 @@ fn tensor_from(sites: &[(i32, i32, i32)], c: usize, seed: u64) -> SparseTensor {
     dedup.dedup();
     let coords: Vec<Coord> = dedup.iter().map(|&(x, y, z)| Coord::new(0, x, y, z)).collect();
     let feats = Matrix::from_fn(coords.len(), c, |r, ch| {
-        let v = (r as u64)
-            .wrapping_mul(0x9E37_79B9)
-            .wrapping_add(ch as u64)
-            .wrapping_mul(seed | 1);
+        let v = (r as u64).wrapping_mul(0x9E37_79B9).wrapping_add(ch as u64).wrapping_mul(seed | 1);
         ((v % 1000) as f32 - 500.0) / 250.0
     });
     SparseTensor::new(coords, feats).expect("valid tensor")
@@ -52,8 +49,12 @@ fn dataflow_configs() -> Vec<(&'static str, OptimizationConfig)> {
     vec![("fused", fused), ("unfused", unfused), ("fetch-on-demand", fod)]
 }
 
-fn output_bits<M: Module>(mut cfg: OptimizationConfig, threads: usize, m: &M, x: &SparseTensor)
--> (Vec<Coord>, Vec<u32>) {
+fn output_bits<M: Module>(
+    mut cfg: OptimizationConfig,
+    threads: usize,
+    m: &M,
+    x: &SparseTensor,
+) -> (Vec<Coord>, Vec<u32>) {
     cfg.threads = Some(threads);
     let mut engine = Engine::with_config(cfg, DeviceProfile::rtx_2080ti());
     let y = engine.run(m, x).expect("run succeeds");

@@ -1,10 +1,8 @@
 //! Integration tests for quantized inference paths and pooling layers.
 
 use proptest::prelude::*;
-use torchsparse::core::{
-    Engine, EnginePreset, Precision, SparseMaxPool3d, SparseTensor,
-};
 use torchsparse::coords::Coord;
+use torchsparse::core::{Engine, EnginePreset, Precision, SparseMaxPool3d, SparseTensor};
 use torchsparse::data::SyntheticDataset;
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::models::{devoxelize_trilinear, voxelize_features, MinkUNet, PointScene};
@@ -24,8 +22,8 @@ fn int8_engine_runs_with_bounded_error() {
     let b = int8.run(&model, &input).expect("int8");
 
     // INT8 is lossy but the network must stay in the same regime.
-    let rel = a.feats().max_abs_diff(b.feats()).expect("shape")
-        / a.feats().frobenius_norm().max(1e-9);
+    let rel =
+        a.feats().max_abs_diff(b.feats()).expect("shape") / a.feats().frobenius_norm().max(1e-9);
     assert!(rel < 0.25, "int8 relative deviation {rel} too large");
     // And it must be cheaper to run than FP32.
     assert!(int8.last_latency() < fp32.last_latency());
@@ -34,9 +32,8 @@ fn int8_engine_runs_with_bounded_error() {
 #[test]
 fn strided_max_pool_equals_bruteforce() {
     // Compare the engine's pooling against a direct window-max computation.
-    let coords: Vec<Coord> = (0..6)
-        .flat_map(|x| (0..4).map(move |y| Coord::new(0, x, y, 0)))
-        .collect();
+    let coords: Vec<Coord> =
+        (0..6).flat_map(|x| (0..4).map(move |y| Coord::new(0, x, y, 0))).collect();
     let n = coords.len();
     let feats = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
     let x = SparseTensor::new(coords.clone(), feats.clone()).expect("tensor");

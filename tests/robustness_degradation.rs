@@ -5,11 +5,11 @@
 //! degradation report (Sanitize) — and on well-defined inputs all dataflows
 //! must agree bit-exactly in FP32.
 
-use torchsparse::core::{
-    Engine, EnginePreset, FaultSite, Module, OptimizationConfig, Precision, ReLU, Sequential,
-    SparseConv3d, SparseTensor, ValidationConfig, ValidationPolicy,
-};
 use torchsparse::coords::Coord;
+use torchsparse::core::{
+    Engine, EnginePreset, FaultSite, OptimizationConfig, Precision, ReLU, Sequential, SparseConv3d,
+    SparseTensor, ValidationConfig,
+};
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::Matrix;
 
@@ -86,9 +86,7 @@ fn adversarial_cloud(kind: CloudKind, seed: u64) -> SparseTensor {
         }
         CloudKind::NanLaced | CloudKind::WellFormed => {
             let mut cs: Vec<Coord> = (0..50)
-                .map(|_| {
-                    Coord::new(0, rng.next_i32(0, 8), rng.next_i32(0, 8), rng.next_i32(0, 8))
-                })
+                .map(|_| Coord::new(0, rng.next_i32(0, 8), rng.next_i32(0, 8), rng.next_i32(0, 8)))
                 .collect();
             cs.sort_unstable();
             cs.dedup();
