@@ -109,8 +109,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &(threads, wall) in &measured {
         let modeled_speedup =
             modeled.iter().find(|(l, _, _)| *l == threads).map(|(_, _, s)| *s).unwrap_or(1.0);
+        // Honesty marker: with more workers than hardware cores the OS
+        // time-slices them, so the measured column says nothing about true
+        // scaling — only the modeled replay does.
+        let saturated = if threads > host_cores { " (saturated)" } else { "" };
         rows.push(vec![
-            threads.to_string(),
+            format!("{threads}{saturated}"),
             format!("{:.1}", wall * 1e3),
             fmt::speedup(base_wall / wall),
             fmt::speedup(modeled_speedup),
@@ -120,6 +124,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         fmt::table(&["threads", "wall ms/scene", "measured speedup", "modeled speedup"], &rows)
     );
+    if THREAD_COUNTS.iter().any(|&t| t > host_cores) {
+        println!(
+            "note: rows marked (saturated) ran more workers than the {host_cores} hardware \
+             core(s); their measured speedup reflects OS time-slicing, not parallel scaling — \
+             use the modeled column there"
+        );
+    }
     println!(
         "parallel regions: {} waves, {} tasks, {:.0}% of traced wall inside tasks",
         trace.len(),
@@ -142,9 +153,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  \"measured\": [\n");
     for (i, &(threads, wall)) in measured.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {threads}, \"wall_ms_per_scene\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"threads\": {threads}, \"wall_ms_per_scene\": {:.3}, \"speedup\": {:.3}, \
+             \"saturated\": {}}}{}\n",
             wall * 1e3,
             base_wall / wall,
+            threads > host_cores,
             if i + 1 < measured.len() { "," } else { "" }
         ));
     }

@@ -1,7 +1,8 @@
 use crate::config::{GroupingStrategy, Precision};
 use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
 use crate::dataflow::{
-    apply_storage_precision_owned, run_fetch_on_demand, run_gather_matmul_scatter, ConvWorkload,
+    apply_storage_precision_owned_kernel, compute_kernel, run_fetch_on_demand,
+    run_gather_matmul_scatter, ConvWorkload,
 };
 use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
@@ -9,10 +10,10 @@ use crate::mapping::build_layer_mapping_observed_on;
 use crate::module::Module;
 use crate::plan::{ConvDataflow, ConvPlan, LayerOp, Tracer};
 use crate::{CoreError, SparseTensor};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use torchsparse_coords::{offsets, Coord};
 use torchsparse_gpusim::Stage;
-use torchsparse_tensor::Matrix;
+use torchsparse_tensor::{Matrix, PackedB};
 
 /// A sparse 3D convolution layer (`torchsparse.nn.Conv3d`).
 ///
@@ -45,6 +46,10 @@ pub struct SparseConv3d {
     dilation: i32,
     transposed: bool,
     weights: Vec<Matrix>,
+    /// Panel-major packed copies of `weights`, built lazily on first plan
+    /// and shared with every [`ConvPlan`] via `Arc`. Weights are immutable
+    /// after construction, so the pack is computed at most once.
+    packed: OnceLock<Arc<Vec<PackedB>>>,
 }
 
 /// A tiny deterministic generator for weight initialization (keeps the core
@@ -95,6 +100,7 @@ impl SparseConv3d {
             dilation: 1,
             transposed,
             weights,
+            packed: OnceLock::new(),
         })
     }
 
@@ -200,6 +206,14 @@ impl SparseConv3d {
     /// The per-offset weights.
     pub fn weights(&self) -> &[Matrix] {
         &self.weights
+    }
+
+    /// The per-offset weights in the microkernel's panel-major packed
+    /// layout, built on first use and cached for the layer's lifetime.
+    pub(crate) fn packed_weights(&self) -> Arc<Vec<PackedB>> {
+        Arc::clone(
+            self.packed.get_or_init(|| Arc::new(self.weights.iter().map(PackedB::pack).collect())),
+        )
     }
 
     /// Acquires the kernel map and output coordinates, via the cache when
@@ -317,7 +331,16 @@ impl SparseConv3d {
             ConvDataflow::Grouped(plan_groups(&map_ref.sizes(), submanifold, strategy))
         };
 
-        Ok(ConvPlan { cached, flipped, use_fine, out_stride, center, submanifold, dataflow })
+        Ok(ConvPlan {
+            cached,
+            flipped,
+            use_fine,
+            out_stride,
+            center,
+            submanifold,
+            dataflow,
+            packed: self.packed_weights(),
+        })
     }
 
     /// The execute half: runs only the feature path (gather/matmul/scatter
@@ -356,6 +379,7 @@ impl SparseConv3d {
         let workload = ConvWorkload {
             in_feats: input.feats(),
             weights: &self.weights,
+            packed: Some(&plan.packed),
             map: map_ref,
             n_out: out_coords.len(),
             center_identity: plan.center,
@@ -368,10 +392,11 @@ impl SparseConv3d {
             }
         };
 
-        let mut out_feats = apply_storage_precision_owned(
+        let mut out_feats = apply_storage_precision_owned_kernel(
             &ctx.runtime.pool(),
             run_dataflow(ctx)?,
             ctx.config.precision,
+            compute_kernel(&ctx.config),
         );
         if ctx.config.precision != Precision::Fp32 {
             if !out_feats.is_empty() && ctx.faults.should_fail(FaultSite::Fp16Overflow) {

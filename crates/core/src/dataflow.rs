@@ -18,7 +18,7 @@
 //! that cache behaviour — and therefore latency — differs the way the
 //! paper measures.
 
-use crate::config::Precision;
+use crate::config::{OptimizationConfig, Precision, SimdPolicy};
 use crate::context::Context;
 use crate::grouping::GroupPlan;
 use crate::runtime::{Task, ThreadPool};
@@ -27,6 +27,8 @@ use torchsparse_coords::kernel_map::MapEntry;
 use torchsparse_coords::KernelMap;
 use torchsparse_gpusim::Precision as GemmPrecision;
 use torchsparse_gpusim::{AccessMode, ElemWidth, GemmShape, Stage};
+use torchsparse_tensor::gemm::GemmOpts;
+use torchsparse_tensor::microkernel::{self, Kernel, PackedB};
 use torchsparse_tensor::{gemm, quant, Matrix};
 
 /// Everything a dataflow needs to execute one convolution.
@@ -36,6 +38,10 @@ pub struct ConvWorkload<'a> {
     pub in_feats: &'a Matrix,
     /// Per-offset weight matrices (`c_in x c_out` each).
     pub weights: &'a [Matrix],
+    /// The same weights pre-packed into the microkernel's panel-major
+    /// layout (one [`PackedB`] per offset, built once at plan time and
+    /// reused across frames). `None` streams the row-major `weights`.
+    pub packed: Option<&'a [PackedB]>,
     /// The kernel map.
     pub map: &'a KernelMap,
     /// Number of output points.
@@ -43,6 +49,21 @@ pub struct ConvWorkload<'a> {
     /// The center offset index if this is a submanifold layer whose center
     /// map is the identity (enables the §4.2.1 shortcut).
     pub center_identity: Option<usize>,
+}
+
+/// Resolves the engine's [`SimdPolicy`] to a concrete compute kernel.
+pub(crate) fn compute_kernel(config: &OptimizationConfig) -> Kernel {
+    match config.simd {
+        SimdPolicy::Auto => microkernel::active(),
+        SimdPolicy::Portable => Kernel::Portable,
+        SimdPolicy::Scalar => Kernel::Scalar,
+    }
+}
+
+/// GEMM options for this configuration: the resolved kernel, with FMA only
+/// if the config opted in.
+fn gemm_opts(config: &OptimizationConfig) -> GemmOpts {
+    GemmOpts { kernel: Some(compute_kernel(config)), fma: config.fma_gemm }
 }
 
 impl ConvWorkload<'_> {
@@ -103,17 +124,26 @@ pub fn apply_storage_precision(pool: &ThreadPool, m: &Matrix, precision: Precisi
 /// of a forward pass allocates nothing here. The rounding sweep runs on the
 /// worker pool; per-element rounding is independent, so results are bitwise
 /// identical at any thread count.
-pub fn apply_storage_precision_owned(
+pub fn apply_storage_precision_owned(pool: &ThreadPool, m: Matrix, precision: Precision) -> Matrix {
+    apply_storage_precision_owned_kernel(pool, m, precision, microkernel::active())
+}
+
+/// [`apply_storage_precision_owned`] with an explicit compute kernel (the
+/// engine resolves its [`SimdPolicy`] once per layer). The SIMD sweeps are
+/// bit-exact against the scalar per-element conversions for every input,
+/// so the kernel choice never changes results.
+pub fn apply_storage_precision_owned_kernel(
     pool: &ThreadPool,
     mut m: Matrix,
     precision: Precision,
+    kernel: Kernel,
 ) -> Matrix {
     match precision {
         Precision::Fp32 => {}
-        Precision::Fp16 => quant::round_trip_f16_in_place_on(pool, &mut m),
+        Precision::Fp16 => quant::round_trip_f16_in_place_kernel(pool, &mut m, kernel),
         Precision::Int8 => {
             let q = quant::Int8Quantizer::calibrate(m.as_slice());
-            m.par_map_inplace(pool, |v| q.dequantize(q.quantize(v)));
+            q.round_trip_in_place_kernel(pool, &mut m, kernel);
         }
     }
     m
@@ -126,15 +156,23 @@ const MOVE_CHUNK: usize = 64;
 
 /// Copies `in_feats[entries[i].input] -> f[i]` for all entries, partitioned
 /// into [`MOVE_CHUNK`]-row tasks on the pool. Rows of `f` beyond
-/// `entries.len()` are untouched (callers pre-zero padded buffers).
-fn gather_rows(pool: &ThreadPool, in_feats: &Matrix, entries: &[MapEntry], f: &mut Matrix) {
+/// `entries.len()` are untouched (callers pre-zero padded buffers). Row
+/// copies go through the microkernel's wide-vector path on SIMD hosts —
+/// identical bytes, fewer instructions per feature row.
+fn gather_rows(
+    pool: &ThreadPool,
+    kernel: Kernel,
+    in_feats: &Matrix,
+    entries: &[MapEntry],
+    f: &mut Matrix,
+) {
     let c_in = in_feats.cols();
     if entries.is_empty() || c_in == 0 {
         return;
     }
     if (pool.threads() <= 1 && !pool.is_recording()) || entries.len() <= MOVE_CHUNK {
         for (i, e) in entries.iter().enumerate() {
-            f.row_mut(i).copy_from_slice(in_feats.row(e.input as usize));
+            microkernel::copy_row(kernel, f.row_mut(i), in_feats.row(e.input as usize));
         }
         return;
     }
@@ -145,7 +183,7 @@ fn gather_rows(pool: &ThreadPool, in_feats: &Matrix, entries: &[MapEntry], f: &m
         .map(|(block, chunk)| {
             Box::new(move || {
                 for (row, e) in block.chunks_mut(c_in).zip(chunk) {
-                    row.copy_from_slice(in_feats.row(e.input as usize));
+                    microkernel::copy_row(kernel, row, in_feats.row(e.input as usize));
                 }
             }) as Task<'_>
         })
@@ -165,6 +203,7 @@ fn gather_rows(pool: &ThreadPool, in_feats: &Matrix, entries: &[MapEntry], f: &m
 /// order per element.
 fn scatter_accumulate(
     pool: &ThreadPool,
+    kernel: Kernel,
     map: &KernelMap,
     psums: &[Option<Matrix>],
     out: &mut Matrix,
@@ -178,9 +217,7 @@ fn scatter_accumulate(
             let Some(p) = p else { continue };
             for (i, e) in map.entries(n).iter().enumerate() {
                 let dst = out.row_mut(e.output as usize);
-                for (d, s) in dst.iter_mut().zip(p.row(i)) {
-                    *d += s;
-                }
+                microkernel::accumulate_row(kernel, dst, p.row(i));
             }
         }
         return;
@@ -207,9 +244,7 @@ fn scatter_accumulate(
                 for (r, dst) in block.chunks_mut(c_out).enumerate() {
                     for &(n, i) in &producers[c * MOVE_CHUNK + r] {
                         let Some(p) = psums[n as usize].as_ref() else { continue };
-                        for (d, s) in dst.iter_mut().zip(p.row(i as usize)) {
-                            *d += s;
-                        }
+                        microkernel::accumulate_row(kernel, dst, p.row(i as usize));
                     }
                 }
             }) as Task<'_>
@@ -302,6 +337,8 @@ pub fn run_gather_matmul_scatter(
     let m = modes(ctx.config.precision, ctx.config.vectorized);
     let bufs = layout(w, plan, &m, ctx);
     let pool = ctx.runtime.pool();
+    let kernel = compute_kernel(&ctx.config);
+    let opts = gemm_opts(&ctx.config);
     let mut out = Matrix::zeros(w.n_out, w.c_out());
 
     // ---- Real computation (order-independent). -------------------------
@@ -315,7 +352,18 @@ pub fn run_gather_matmul_scatter(
     for g in plan.groups.iter().filter(|_| run_numerics) {
         if is_center_shortcut(w, &g.offsets, ctx) {
             // out += in . W_center, rows aligned by the identity map.
-            gemm::mm_accumulate_on(&pool, w.in_feats, &w.weights[g.offsets[0]], &mut out)?;
+            match w.packed {
+                Some(packed) => gemm::mm_into_packed_on(
+                    &pool,
+                    w.in_feats,
+                    &packed[g.offsets[0]],
+                    &mut out,
+                    opts,
+                )?,
+                None => {
+                    gemm::mm_into_with(&pool, w.in_feats, &w.weights[g.offsets[0]], &mut out, opts)?
+                }
+            }
             continue;
         }
         let members: Vec<usize> =
@@ -328,7 +376,7 @@ pub fn run_gather_matmul_scatter(
             let mut gathered: Vec<Matrix> = Vec::with_capacity(members.len());
             for &n in &members {
                 let mut f = ctx.runtime.workspaces.take(g.padded_rows, w.c_in());
-                gather_rows(&pool, w.in_feats, w.map.entries(n), &mut f);
+                gather_rows(&pool, kernel, w.in_feats, w.map.entries(n), &mut f);
                 gathered.push(f);
             }
             let mut products: Vec<Matrix> = members
@@ -336,15 +384,23 @@ pub fn run_gather_matmul_scatter(
                 .map(|_| ctx.runtime.workspaces.take(g.padded_rows, w.c_out()))
                 .collect();
             let a_refs: Vec<&Matrix> = gathered.iter().collect();
-            let b_refs: Vec<&Matrix> = members.iter().map(|&n| &w.weights[n]).collect();
-            gemm::bmm_into_on(&pool, &a_refs, &b_refs, &mut products)?;
+            match w.packed {
+                Some(packed) => {
+                    let b_refs: Vec<&PackedB> = members.iter().map(|&n| &packed[n]).collect();
+                    gemm::bmm_into_packed_on(&pool, &a_refs, &b_refs, &mut products, opts)?;
+                }
+                None => {
+                    let b_refs: Vec<&Matrix> = members.iter().map(|&n| &w.weights[n]).collect();
+                    gemm::bmm_into_with(&pool, &a_refs, &b_refs, &mut products, opts)?;
+                }
+            }
             for f in gathered {
                 ctx.runtime.workspaces.give(f);
             }
             for (&n, mut p) in members.iter().zip(products) {
                 if ctx.config.precision != Precision::Fp32 {
                     // Partial sums are stored in 16-bit buffers.
-                    quant::round_trip_f16_in_place_on(&pool, &mut p);
+                    quant::round_trip_f16_in_place_kernel(&pool, &mut p, kernel);
                 }
                 psums[n] = Some(p);
             }
@@ -353,20 +409,25 @@ pub fn run_gather_matmul_scatter(
                 let entries = w.map.entries(n);
                 let rows = if g.use_bmm { g.padded_rows } else { entries.len() };
                 let mut f = ctx.runtime.workspaces.take(rows, w.c_in());
-                gather_rows(&pool, w.in_feats, entries, &mut f);
+                gather_rows(&pool, kernel, w.in_feats, entries, &mut f);
                 let mut p = ctx.runtime.workspaces.take(rows, w.c_out());
-                gemm::mm_into_on(&pool, &f, &w.weights[n], &mut p)?;
+                match w.packed {
+                    Some(packed) => {
+                        gemm::mm_into_packed_on(&pool, &f, &packed[n], &mut p, opts)?;
+                    }
+                    None => gemm::mm_into_with(&pool, &f, &w.weights[n], &mut p, opts)?,
+                }
                 ctx.runtime.workspaces.give(f);
                 if ctx.config.precision != Precision::Fp32 {
                     // Partial sums are stored in 16-bit buffers.
-                    quant::round_trip_f16_in_place_on(&pool, &mut p);
+                    quant::round_trip_f16_in_place_kernel(&pool, &mut p, kernel);
                 }
                 psums[n] = Some(p);
             }
         }
     }
     // Scatter-accumulate (FP32 accumulation registers).
-    scatter_accumulate(&pool, w.map, &psums, &mut out);
+    scatter_accumulate(&pool, kernel, w.map, &psums, &mut out);
     for p in psums.drain(..).flatten() {
         ctx.runtime.workspaces.give(p);
     }
@@ -596,6 +657,8 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     let precision = gemm_precision(ctx.config.precision);
     let mut compute = torchsparse_gpusim::Micros::ZERO;
     let pool = ctx.runtime.pool();
+    let kernel = compute_kernel(&ctx.config);
+    let opts = gemm_opts(&ctx.config);
     // One scratch pair reused across all K^3 neighborhoods (previously a
     // fresh gather matrix was allocated per offset): reshape keeps the
     // backing storage whenever capacity suffices, and the buffers return to
@@ -613,14 +676,17 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
             // blocked GEMM over the offset's rows — numerically identical to
             // the per-entry row-by-matrix products of the device kernel.
             scratch.reshape_zeroed(entries.len(), w.c_in());
-            gather_rows(&pool, w.in_feats, entries, &mut scratch);
+            gather_rows(&pool, kernel, w.in_feats, entries, &mut scratch);
             psum.reshape_zeroed(entries.len(), w.c_out());
-            gemm::mm_into_on(&pool, &scratch, &w.weights[n], &mut psum)?;
+            match w.packed {
+                Some(packed) => {
+                    gemm::mm_into_packed_on(&pool, &scratch, &packed[n], &mut psum, opts)?;
+                }
+                None => gemm::mm_into_with(&pool, &scratch, &w.weights[n], &mut psum, opts)?,
+            }
             for (i, e) in entries.iter().enumerate() {
                 let dst = out.row_mut(e.output as usize);
-                for (d, s) in dst.iter_mut().zip(psum.row(i)) {
-                    *d += s;
-                }
+                microkernel::accumulate_row(kernel, dst, psum.row(i));
             }
         }
         for e in entries {
@@ -740,6 +806,7 @@ mod tests {
                         let w = ConvWorkload {
                             in_feats: &feats,
                             weights: &weights,
+                            packed: None,
                             map: &map,
                             n_out,
                             center_identity: Some(13),
@@ -765,6 +832,7 @@ mod tests {
         let w = ConvWorkload {
             in_feats: &feats,
             weights: &weights,
+            packed: None,
             map: &map,
             n_out,
             center_identity: Some(13),
@@ -785,6 +853,7 @@ mod tests {
         let w = ConvWorkload {
             in_feats: &feats,
             weights: &weights,
+            packed: None,
             map: &map,
             n_out,
             center_identity: Some(13),
@@ -802,6 +871,7 @@ mod tests {
         let w = ConvWorkload {
             in_feats: &feats,
             weights: &weights,
+            packed: None,
             map: &map,
             n_out: coords.len(),
             center_identity: Some(13),
@@ -823,6 +893,7 @@ mod tests {
             let w = ConvWorkload {
                 in_feats: &feats,
                 weights: &weights,
+                packed: None,
                 map: &map,
                 n_out: coords.len(),
                 center_identity: Some(13),
@@ -845,6 +916,7 @@ mod tests {
         let w = ConvWorkload {
             in_feats: &feats,
             weights: &weights,
+            packed: None,
             map: &map,
             n_out,
             center_identity: Some(13),

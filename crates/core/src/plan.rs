@@ -22,6 +22,7 @@ use crate::grouping::GroupPlan;
 use crate::{BatchNorm, GlobalPool, ReLU, SparseConv3d, SparseMaxPool3d};
 use std::sync::Arc;
 use torchsparse_coords::{Coord, KernelMap};
+use torchsparse_tensor::PackedB;
 
 /// One typed operation in the flattened layer IR.
 ///
@@ -119,6 +120,10 @@ pub(crate) struct ConvPlan {
     pub(crate) submanifold: bool,
     /// The frozen dataflow decision.
     pub(crate) dataflow: ConvDataflow,
+    /// Panel-major packed per-offset weights, shared with the layer's
+    /// lazy pack cache: packing happens once per layer, and every frame
+    /// executed against this plan streams the packed panels.
+    pub(crate) packed: Arc<Vec<PackedB>>,
 }
 
 impl ConvPlan {

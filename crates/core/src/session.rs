@@ -11,6 +11,11 @@
 //! [`CompiledSession::execute`] then runs only the feature path. A frame
 //! with a different fingerprint transparently re-plans (counted in
 //! [`PlanCacheStats`]).
+//!
+//! Planning also freezes each convolution's weights in the SIMD
+//! microkernel's panel-major packed layout (shared with the layer's lazy
+//! pack cache), so steady-state frames stream pre-packed GEMM panels and
+//! never touch row-major weights.
 
 use crate::context::Context;
 use crate::engine::Engine;

@@ -136,6 +136,10 @@ impl ThreadPool {
     }
 
     fn build(threads: usize, recording: bool) -> ThreadPool {
+        // Resolve the host's SIMD capability set now, once, so the compute
+        // kernels dispatched onto this pool never pay a per-call
+        // `is_x86_feature_detected!` check.
+        let _ = cpu_features();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             work_cv: Condvar::new(),
@@ -349,6 +353,46 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// The SIMD capability set of the host CPU, as seen by the compute kernels.
+///
+/// Detected once per process — [`ThreadPool`] construction triggers the
+/// probe, so by the time any task runs the answer is a cached load, never a
+/// `cpuid` in a hot loop. On non-x86-64 targets every flag is `false` and
+/// the portable kernels are used unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// 256-bit integer/float vectors (`__m256`); gates the SIMD GEMM
+    /// microkernel and the wide gather/scatter row primitives.
+    pub avx2: bool,
+    /// Fused multiply-add. Never auto-selected — FMA contracts the
+    /// mul-then-add rounding step and therefore changes results bitwise;
+    /// callers opt in explicitly.
+    pub fma: bool,
+    /// Hardware f32<->f16 conversion (`vcvtps2ph`/`vcvtph2ps`); gates the
+    /// vectorized precision-conversion sweeps.
+    pub f16c: bool,
+}
+
+/// Returns the host's [`CpuFeatures`], probing on first call only.
+pub fn cpu_features() -> CpuFeatures {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    *FEATURES.get_or_init(detect_cpu_features)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_cpu_features() -> CpuFeatures {
+    CpuFeatures {
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        fma: std::arch::is_x86_feature_detected!("fma"),
+        f16c: std::arch::is_x86_feature_detected!("f16c"),
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_cpu_features() -> CpuFeatures {
+    CpuFeatures { avx2: false, fma: false, f16c: false }
+}
+
 /// The default pool width: `TORCHSPARSE_THREADS` when set to a positive
 /// integer, otherwise the host's available parallelism.
 pub fn default_threads() -> usize {
@@ -534,6 +578,19 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn cpu_features_are_stable_and_consistent() {
+        let a = cpu_features();
+        let b = cpu_features();
+        assert_eq!(a, b, "probe result must be cached");
+        // FMA and F16C imply at least AVX-era hardware; on every machine we
+        // target they ship together with AVX2. The kernels only rely on the
+        // weaker property that each flag is individually truthful, so this
+        // is a sanity check, not a hard requirement.
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(a, CpuFeatures { avx2: false, fma: false, f16c: false });
     }
 
     #[test]

@@ -20,19 +20,63 @@
 //! count — the panel partition is fixed by [`PANEL`], never by the lane
 //! count, so scheduling cannot change the arithmetic. The tests and the
 //! root crate's parallel-determinism property tests verify this.
+//!
+//! Arithmetic within a panel is delegated to the
+//! [`microkernel`](crate::microkernel) module, which picks a register-tiled
+//! SIMD kernel at process start (see [`GemmOpts`] for per-call overrides).
+//! The packed entry points ([`mm_into_packed_on`], [`bmm_into_packed_on`])
+//! accept weights pre-packed into the microkernel's panel-major layout so
+//! steady-state inference never re-streams row-major B.
 
+use crate::microkernel::{self, BOperand, Kernel, PackedB};
 use crate::{Matrix, TensorError};
 use torchsparse_runtime::{Task, ThreadPool};
 
 /// Row-panel size for parallel partitioning.
 const PANEL: usize = 64;
-/// Cache block size along the reduction (k) dimension.
-const KBLOCK: usize = 256;
 /// Below this flop count a GEMM is executed inline: queueing tasks costs
-/// more than the arithmetic. Dispatching a task costs on the order of a
-/// few microseconds; this bound keeps inline only the GEMMs whose whole
-/// runtime is comparable to that.
-const MIN_PARALLEL_FLOPS: f64 = 2.5e5;
+/// more than the arithmetic. Dispatching a task costs on the order of a few
+/// microseconds; this bound keeps inline only the GEMMs whose whole runtime
+/// is comparable to that. Recalibrated for the SIMD microkernel with the
+/// `gemm_kernels` bench on the reference host (AVX2, single core, release
+/// profile): the vectorized kernel sustains 26-43 GFLOP/s on paper-shaped
+/// GEMMs vs 9-18 GFLOP/s for the scalar loop (~2.3-4.8x), so 1e6 flops is
+/// ~25-40 us of microkernel work — comfortably above per-task dispatch cost,
+/// where the old 2.5e5 bound (tuned for the scalar loop) would now inline
+/// barely ~6 us of work per task.
+const MIN_PARALLEL_FLOPS: f64 = 1.0e6;
+
+/// Per-call kernel selection for the `_with` GEMM entry points.
+///
+/// The default (`GemmOpts::default()`) uses the process-wide selection from
+/// [`microkernel::active`] with FMA off — the bitwise-deterministic
+/// configuration. `fma` upgrades an AVX2 selection to fused multiply-add,
+/// which changes rounding and is therefore opt-in
+/// (`OptimizationConfig::fma_gemm` in the core crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmOpts {
+    /// Explicit kernel override; `None` uses [`microkernel::active`].
+    pub kernel: Option<Kernel>,
+    /// Allow fused multiply-add (changes rounding; never on by default).
+    pub fma: bool,
+}
+
+impl GemmOpts {
+    /// Options pinned to a specific kernel.
+    pub fn with_kernel(kernel: Kernel) -> GemmOpts {
+        GemmOpts { kernel: Some(kernel), fma: false }
+    }
+
+    /// Resolves the kernel these options denote.
+    pub fn resolve(self) -> Kernel {
+        let k = self.kernel.unwrap_or_else(microkernel::active);
+        if self.fma {
+            k.with_fma()
+        } else {
+            k
+        }
+    }
+}
 
 /// Computes `A * B` on the global runtime pool.
 ///
@@ -92,39 +136,6 @@ pub fn mm_accumulate_on(
     mm_into_on(pool, a, b, c)
 }
 
-/// Computes one row panel of `C += A * B`.
-///
-/// `c_panel` is the panel's slice of C starting at row `row0`; the k-blocked
-/// loop order is identical for every caller, which is what keeps results
-/// bitwise reproducible across partitionings and thread counts.
-fn compute_panel(
-    a_data: &[f32],
-    b_data: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    c_panel: &mut [f32],
-) {
-    let rows_here = c_panel.len() / n;
-    for kb in (0..k).step_by(KBLOCK) {
-        let k_end = (kb + KBLOCK).min(k);
-        for r in 0..rows_here {
-            let a_row = &a_data[(row0 + r) * k..(row0 + r) * k + k];
-            let c_row = &mut c_panel[r * n..(r + 1) * n];
-            for kk in kb..k_end {
-                let aval = a_row[kk];
-                if aval == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aval * bv;
-                }
-            }
-        }
-    }
-}
-
 fn check_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), TensorError> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: b.shape() });
@@ -139,6 +150,43 @@ fn check_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), TensorError> {
     Ok(())
 }
 
+/// Shared panel driver for all `mm_into` variants: partitions C into
+/// [`PANEL`]-row panels and runs the microkernel over each, inline or on
+/// the pool. The partition never depends on the pool width.
+fn mm_into_dispatch(
+    pool: &ThreadPool,
+    kernel: Kernel,
+    a: &Matrix,
+    b: BOperand<'_>,
+    k: usize,
+    n: usize,
+    c: &mut Matrix,
+) {
+    let m = a.rows();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let c_data = c.as_mut_slice();
+
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    if pool.threads() <= 1 && !pool.is_recording() || flops < MIN_PARALLEL_FLOPS || m <= PANEL {
+        for (i, panel) in c_data.chunks_mut(PANEL * n).enumerate() {
+            microkernel::gemm_panel(kernel, a_data, b, k, n, i * PANEL, panel);
+        }
+        return;
+    }
+    let tasks: Vec<Task<'_>> = c_data
+        .chunks_mut(PANEL * n)
+        .enumerate()
+        .map(|(i, panel)| {
+            Box::new(move || microkernel::gemm_panel(kernel, a_data, b, k, n, i * PANEL, panel))
+                as Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+}
+
 /// `C += A * B` with panels dispatched onto `pool`.
 ///
 /// # Errors
@@ -150,31 +198,63 @@ pub fn mm_into_on(
     b: &Matrix,
     c: &mut Matrix,
 ) -> Result<(), TensorError> {
-    check_shapes(a, b, c)?;
-    let (m, k) = a.shape();
-    let n = b.cols();
-    if m == 0 || n == 0 || k == 0 {
-        return Ok(());
-    }
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
+    mm_into_with(pool, a, b, c, GemmOpts::default())
+}
 
-    let flops = 2.0 * m as f64 * n as f64 * k as f64;
-    if pool.threads() <= 1 && !pool.is_recording() || flops < MIN_PARALLEL_FLOPS || m <= PANEL {
-        for (i, panel) in c_data.chunks_mut(PANEL * n).enumerate() {
-            compute_panel(a_data, b_data, k, n, i * PANEL, panel);
-        }
+/// [`mm_into_on`] with explicit kernel options.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+pub fn mm_into_with(
+    pool: &ThreadPool,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    opts: GemmOpts,
+) -> Result<(), TensorError> {
+    check_shapes(a, b, c)?;
+    let k = a.cols();
+    if k == 0 {
         return Ok(());
     }
-    let tasks: Vec<Task<'_>> = c_data
-        .chunks_mut(PANEL * n)
-        .enumerate()
-        .map(|(i, panel)| {
-            Box::new(move || compute_panel(a_data, b_data, k, n, i * PANEL, panel)) as Task<'_>
-        })
-        .collect();
-    pool.run(tasks);
+    mm_into_dispatch(pool, opts.resolve(), a, BOperand::Dense(b.as_slice()), k, b.cols(), c);
+    Ok(())
+}
+
+/// `C += A * B` where B was pre-packed with [`PackedB::pack`].
+///
+/// This is the steady-state inference entry point: weights are constant
+/// across frames, so the core crate packs each kernel-offset matrix once
+/// (at plan time or on first use) and every subsequent GEMM streams the
+/// packed panels sequentially. Results are bitwise identical to the dense
+/// form for the same kernel options.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+pub fn mm_into_packed_on(
+    pool: &ThreadPool,
+    a: &Matrix,
+    b: &PackedB,
+    c: &mut Matrix,
+    opts: GemmOpts,
+) -> Result<(), TensorError> {
+    if a.cols() != b.k() {
+        return Err(TensorError::ShapeMismatch { op: "mm", lhs: a.shape(), rhs: (b.k(), b.n()) });
+    }
+    if c.shape() != (a.rows(), b.n()) {
+        return Err(TensorError::ShapeMismatch {
+            op: "mm_out",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.n()),
+        });
+    }
+    let k = a.cols();
+    if k == 0 {
+        return Ok(());
+    }
+    mm_into_dispatch(pool, opts.resolve(), a, BOperand::Packed(b), k, b.n(), c);
     Ok(())
 }
 
@@ -232,26 +312,101 @@ pub fn bmm_into_on(
     b: &[&Matrix],
     out: &mut [Matrix],
 ) -> Result<(), TensorError> {
+    bmm_into_with(pool, a, b, out, GemmOpts::default())
+}
+
+/// [`bmm_into_on`] with explicit kernel options.
+///
+/// # Errors
+///
+/// As [`bmm_into_on`].
+pub fn bmm_into_with(
+    pool: &ThreadPool,
+    a: &[&Matrix],
+    b: &[&Matrix],
+    out: &mut [Matrix],
+    opts: GemmOpts,
+) -> Result<(), TensorError> {
     if a.len() != b.len() || a.len() != out.len() {
         return Err(TensorError::BatchMismatch { lhs: a.len(), rhs: b.len().min(out.len()) });
     }
     if a.is_empty() {
         return Ok(());
     }
-    let a_shape = a[0].shape();
     let b_shape = b[0].shape();
-    for m in a {
-        if m.shape() != a_shape {
-            return Err(TensorError::ShapeMismatch { op: "bmm_lhs", lhs: a_shape, rhs: m.shape() });
-        }
-    }
     for m in b {
         if m.shape() != b_shape {
             return Err(TensorError::ShapeMismatch { op: "bmm_rhs", lhs: b_shape, rhs: m.shape() });
         }
     }
+    let operands: Vec<BOperand<'_>> = b.iter().map(|bi| BOperand::Dense(bi.as_slice())).collect();
+    bmm_dispatch(pool, opts.resolve(), a, &operands, b_shape, out)
+}
+
+/// Batched GEMM over pre-packed weights: `C[i] += A[i] * packed[i]`.
+///
+/// The grouped-matmul counterpart of [`mm_into_packed_on`]: every member of
+/// an Algorithm 5 bmm group multiplies against a weight matrix that was
+/// packed once at plan time, and all members' row panels still flatten into
+/// a single task wave.
+///
+/// # Errors
+///
+/// As [`bmm_into_on`].
+pub fn bmm_into_packed_on(
+    pool: &ThreadPool,
+    a: &[&Matrix],
+    b: &[&PackedB],
+    out: &mut [Matrix],
+    opts: GemmOpts,
+) -> Result<(), TensorError> {
+    if a.len() != b.len() || a.len() != out.len() {
+        return Err(TensorError::BatchMismatch { lhs: a.len(), rhs: b.len().min(out.len()) });
+    }
+    if a.is_empty() {
+        return Ok(());
+    }
+    let b_shape = (b[0].k(), b[0].n());
+    for pb in b {
+        if (pb.k(), pb.n()) != b_shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm_rhs",
+                lhs: b_shape,
+                rhs: (pb.k(), pb.n()),
+            });
+        }
+    }
+    let operands: Vec<BOperand<'_>> = b.iter().map(|pb| BOperand::Packed(pb)).collect();
+    bmm_dispatch(pool, opts.resolve(), a, &operands, b_shape, out)
+}
+
+/// Shared driver for the batched variants: validates member shapes, then
+/// flattens every member's [`PANEL`]-row panels into one task wave.
+fn bmm_dispatch(
+    pool: &ThreadPool,
+    kernel: Kernel,
+    a: &[&Matrix],
+    b: &[BOperand<'_>],
+    b_shape: (usize, usize),
+    out: &mut [Matrix],
+) -> Result<(), TensorError> {
+    let a_shape = a[0].shape();
+    for m in a {
+        if m.shape() != a_shape {
+            return Err(TensorError::ShapeMismatch { op: "bmm_lhs", lhs: a_shape, rhs: m.shape() });
+        }
+    }
+    if a_shape.1 != b_shape.0 {
+        return Err(TensorError::ShapeMismatch { op: "mm", lhs: a_shape, rhs: b_shape });
+    }
     for (ai, ci) in a.iter().zip(out.iter()) {
-        check_shapes(ai, b[0], ci)?;
+        if ci.shape() != (ai.rows(), b_shape.1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "mm_out",
+                lhs: ci.shape(),
+                rhs: (ai.rows(), b_shape.1),
+            });
+        }
     }
     let (m, k) = a_shape;
     let n = b_shape.1;
@@ -263,7 +418,7 @@ pub fn bmm_into_on(
     if pool.threads() <= 1 && !pool.is_recording() || batch_flops < MIN_PARALLEL_FLOPS {
         for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
             for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
-                compute_panel(ai.as_slice(), bi.as_slice(), k, n, p * PANEL, panel);
+                microkernel::gemm_panel(kernel, ai.as_slice(), *bi, k, n, p * PANEL, panel);
             }
         }
         return Ok(());
@@ -271,9 +426,11 @@ pub fn bmm_into_on(
     let mut tasks: Vec<Task<'_>> = Vec::new();
     for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
         let a_data = ai.as_slice();
-        let b_data = bi.as_slice();
+        let operand = *bi;
         for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
-            tasks.push(Box::new(move || compute_panel(a_data, b_data, k, n, p * PANEL, panel)));
+            tasks.push(Box::new(move || {
+                microkernel::gemm_panel(kernel, a_data, operand, k, n, p * PANEL, panel)
+            }));
         }
     }
     pool.run(tasks);
@@ -440,7 +597,143 @@ mod tests {
         assert!(bmm_into_on(ThreadPool::global(), &[&a], &[&b], &mut out).is_err());
     }
 
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Kernels that must be bitwise interchangeable on this host.
+    fn deterministic_kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar, Kernel::Portable];
+        if torchsparse_runtime::cpu_features().avx2 {
+            ks.push(Kernel::Avx2);
+        }
+        ks
+    }
+
+    #[test]
+    fn packed_mm_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let pb = PackedB::pack(&Matrix::zeros(4, 5));
+        let mut c = Matrix::zeros(2, 5);
+        assert!(
+            mm_into_packed_on(ThreadPool::global(), &a, &pb, &mut c, GemmOpts::default()).is_err()
+        );
+        let pb = PackedB::pack(&Matrix::zeros(3, 5));
+        let mut bad_c = Matrix::zeros(2, 4);
+        assert!(mm_into_packed_on(ThreadPool::global(), &a, &pb, &mut bad_c, GemmOpts::default())
+            .is_err());
+    }
+
+    #[test]
+    fn packed_mm_matches_dense_bitwise_across_pool_widths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = random_matrix(&mut rng, 300, 96);
+        let b = random_matrix(&mut rng, 96, 50);
+        let packed = PackedB::pack(&b);
+        let mut dense = Matrix::zeros(300, 50);
+        mm_into_on(&ThreadPool::new(1), &a, &b, &mut dense).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut c = Matrix::zeros(300, 50);
+            mm_into_packed_on(&pool, &a, &packed, &mut c, GemmOpts::default()).unwrap();
+            assert_eq!(bits(&c), bits(&dense), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bmm_packed_matches_dense_bitwise() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a: Vec<Matrix> = (0..5).map(|_| random_matrix(&mut rng, 130, 40)).collect();
+        let b: Vec<Matrix> = (0..5).map(|_| random_matrix(&mut rng, 40, 24)).collect();
+        let packed: Vec<PackedB> = b.iter().map(PackedB::pack).collect();
+        let a_refs: Vec<&Matrix> = a.iter().collect();
+        let b_refs: Vec<&Matrix> = b.iter().collect();
+        let pb_refs: Vec<&PackedB> = packed.iter().collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut dense: Vec<Matrix> = a.iter().map(|_| Matrix::zeros(130, 24)).collect();
+            bmm_into_on(&pool, &a_refs, &b_refs, &mut dense).unwrap();
+            let mut packed_out: Vec<Matrix> = a.iter().map(|_| Matrix::zeros(130, 24)).collect();
+            bmm_into_packed_on(&pool, &a_refs, &pb_refs, &mut packed_out, GemmOpts::default())
+                .unwrap();
+            for (d, p) in dense.iter().zip(&packed_out) {
+                assert_eq!(bits(p), bits(d), "threads={threads}");
+            }
+        }
+    }
+
+    /// Distance in representation order between two same-sign floats; used
+    /// for the FMA tolerance check.
+    fn ulp_distance(a: f32, b: f32) -> u64 {
+        fn key(v: f32) -> i64 {
+            let b = v.to_bits() as i32;
+            (if b < 0 { i32::MIN.wrapping_sub(b) } else { b }) as i64
+        }
+        (key(a) - key(b)).unsigned_abs()
+    }
+
+    #[test]
+    fn fma_mode_stays_within_4_ulp_of_reference() {
+        if !torchsparse_runtime::cpu_features().fma {
+            return; // nothing to exercise on this host
+        }
+        // Positive operands keep the partial sums monotone: the fused
+        // multiply-add then differs from mul-then-add by at most half an
+        // ulp of each product, which stays within a few ulps of the final
+        // value. (Under catastrophic cancellation no fixed ULP bound can
+        // hold for *any* reordering/contraction — that is exactly why FMA
+        // is opt-in and excluded from the bitwise-determinism contract.)
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(m, k, n) in &[(17, 33, 9), (64, 128, 64), (5, 7, 31)] {
+            let a = Matrix::from_fn(m, k, |_, _| rng.random_range(0.1f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.random_range(0.1f32..1.0));
+            let reference = mm_reference(&a, &b).unwrap();
+            let opts = GemmOpts { kernel: Some(Kernel::Avx2), fma: true };
+            assert_eq!(opts.resolve(), Kernel::Avx2Fma);
+            let pool = ThreadPool::new(1);
+            for operand_packed in [false, true] {
+                let mut c = Matrix::zeros(m, n);
+                if operand_packed {
+                    let pb = PackedB::pack(&b);
+                    mm_into_packed_on(&pool, &a, &pb, &mut c, opts).unwrap();
+                } else {
+                    mm_into_with(&pool, &a, &b, &mut c, opts).unwrap();
+                }
+                for (got, want) in c.as_slice().iter().zip(reference.as_slice()) {
+                    assert!(
+                        ulp_distance(*got, *want) <= 4,
+                        "fma ({m},{k},{n}) packed={operand_packed}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
     proptest! {
+        /// Every deterministic kernel, dense or packed, is **bitwise** equal
+        /// to the naive reference loop on arbitrary shapes — including
+        /// ragged tails (`n % 16 != 0`, `m % 4 != 0`) and degenerate k.
+        #[test]
+        fn prop_all_kernels_bitwise_match_reference(
+            m in 1usize..80, k in 1usize..48, n in 1usize..40, seed in 0u64..1000
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let reference = mm_reference(&a, &b).unwrap();
+            let packed = PackedB::pack(&b);
+            let pool = ThreadPool::new(1);
+            for kernel in deterministic_kernels() {
+                let opts = GemmOpts::with_kernel(kernel);
+                let mut dense = Matrix::zeros(m, n);
+                mm_into_with(&pool, &a, &b, &mut dense, opts).unwrap();
+                prop_assert!(bits(&dense) == bits(&reference), "dense {:?}", kernel);
+                let mut pc = Matrix::zeros(m, n);
+                mm_into_packed_on(&pool, &a, &packed, &mut pc, opts).unwrap();
+                prop_assert!(bits(&pc) == bits(&reference), "packed {:?}", kernel);
+            }
+        }
+
         #[test]
         fn prop_mm_matches_reference(
             m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000

@@ -154,6 +154,22 @@ impl Half {
         (self.0 & 0x7C00) != 0x7C00
     }
 
+    /// Bulk conversion of an `f32` slice into binary16 storage, replacing
+    /// the contents of `dst` (its allocation is reused). Delegates to the
+    /// process-selected SIMD kernel (F16C hardware conversion on AVX2
+    /// hosts) and is bitwise identical to per-element [`Half::from_f32`]
+    /// for every input, NaN payloads included.
+    pub fn convert_slice_from_f32(src: &[f32], dst: &mut Vec<Half>) {
+        crate::microkernel::f16_quantize_slice(crate::microkernel::active(), src, dst);
+    }
+
+    /// Bulk expansion of binary16 storage into `f32`, replacing the
+    /// contents of `dst`. Vectorized sibling of per-element
+    /// [`Half::to_f32`]; bitwise identical for every input.
+    pub fn convert_slice_to_f32(src: &[Half], dst: &mut Vec<f32>) {
+        crate::microkernel::f16_dequantize_slice(crate::microkernel::active(), src, dst);
+    }
+
     /// Whether every value in `values` is finite. Cheap bit test per
     /// element — the FP16 storage path uses this to detect overflow to
     /// infinity without converting back to f32.
@@ -248,6 +264,23 @@ mod tests {
         assert!(Half::all_finite(&[]), "empty slice is finite");
         // Overflow to infinity through quantization is detected.
         assert_eq!(Half::count_nonfinite(&[Half::from_f32(1e30)]), 1);
+    }
+
+    #[test]
+    fn slice_conversions_match_per_element() {
+        let vals: Vec<f32> =
+            vec![0.0, -0.0, 1.0, -2.5, 65519.0, 65520.0, 1e-10, f32::NAN, f32::INFINITY, 0.1];
+        let mut packed = Vec::new();
+        Half::convert_slice_from_f32(&vals, &mut packed);
+        let expect: Vec<Half> = vals.iter().map(|&v| Half::from_f32(v)).collect();
+        assert_eq!(
+            packed.iter().map(|h| h.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|h| h.to_bits()).collect::<Vec<_>>()
+        );
+        let mut back = Vec::new();
+        Half::convert_slice_to_f32(&packed, &mut back);
+        let expect_f32: Vec<u32> = packed.iter().map(|h| h.to_f32().to_bits()).collect();
+        assert_eq!(back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), expect_f32);
     }
 
     #[test]

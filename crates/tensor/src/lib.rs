@@ -14,6 +14,9 @@
 //! - [`Half`]: software IEEE-754 binary16 with round-to-nearest-even, used to
 //!   reproduce the FP16 quantization study (§4.3.1, Table 3).
 //! - [`quant`]: FP16/INT8 feature quantization helpers.
+//! - [`microkernel`]: register-tiled SIMD compute kernels (AVX2/FMA with a
+//!   portable fallback, selected once per process) plus the [`PackedB`]
+//!   panel-major weight layout shared by the packed GEMM entry points.
 //! - [`dense`]: a dense volumetric 3D convolution used **only** as a
 //!   correctness oracle for the sparse engine's property tests.
 //!
@@ -31,7 +34,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `microkernel::x86` submodule opts back in
+// (locally, with per-call safety comments) for `std::arch` intrinsics. All
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -40,8 +46,10 @@ mod matrix;
 
 pub mod dense;
 pub mod gemm;
+pub mod microkernel;
 pub mod quant;
 
 pub use error::TensorError;
 pub use half::Half;
 pub use matrix::Matrix;
+pub use microkernel::{Kernel, PackedB};

@@ -12,17 +12,29 @@
 //!   GEMM does.
 //! - [`Int8Quantizer`]: symmetric per-tensor INT8 with an f32 scale.
 
+use crate::microkernel::{self, Kernel};
 use crate::{Half, Matrix};
 use torchsparse_runtime::ThreadPool;
 
 /// Quantizes an `f32` slice to binary16 storage.
+///
+/// Runs the process-selected SIMD kernel (F16C hardware conversion on AVX2
+/// hosts); results are bitwise identical to per-element
+/// [`Half::from_f32`] for every input.
 pub fn quantize_f16(values: &[f32]) -> Vec<Half> {
-    values.iter().map(|&v| Half::from_f32(v)).collect()
+    let mut out = Vec::new();
+    microkernel::f16_quantize_slice(microkernel::active(), values, &mut out);
+    out
 }
 
 /// Expands binary16 storage back to `f32`.
+///
+/// Vectorized like [`quantize_f16`]; bitwise identical to per-element
+/// [`Half::to_f32`].
 pub fn dequantize_f16(values: &[Half]) -> Vec<f32> {
-    values.iter().map(|h| h.to_f32()).collect()
+    let mut out = Vec::new();
+    microkernel::f16_dequantize_slice(microkernel::active(), values, &mut out);
+    out
 }
 
 /// Simulates FP16 feature storage on a matrix: every element is rounded to
@@ -42,14 +54,21 @@ pub fn round_trip_f16(m: &Matrix) -> Matrix {
 /// nearest binary16 in place. Used by the dataflow on workspace-pooled
 /// partial-sum buffers so FP16 storage simulation allocates nothing.
 pub fn round_trip_f16_in_place(m: &mut Matrix) {
-    m.map_inplace(|v| Half::from_f32(v).to_f32());
+    microkernel::f16_round_trip_slice(microkernel::active(), m.as_mut_slice());
 }
 
-/// [`round_trip_f16_in_place`] with the element sweep dispatched onto a
+/// [`round_trip_f16_in_place`] with the slice sweep dispatched onto a
 /// worker pool. The rounding of each element is independent, so the result
 /// is bitwise identical to the serial sweep at every thread count.
 pub fn round_trip_f16_in_place_on(pool: &ThreadPool, m: &mut Matrix) {
-    m.par_map_inplace(pool, |v| Half::from_f32(v).to_f32());
+    round_trip_f16_in_place_kernel(pool, m, microkernel::active());
+}
+
+/// [`round_trip_f16_in_place_on`] with an explicit kernel — the engine's
+/// configuration layer resolves its `SimdPolicy` to a kernel once and
+/// threads it through here.
+pub fn round_trip_f16_in_place_kernel(pool: &ThreadPool, m: &mut Matrix, kernel: Kernel) {
+    m.par_map_slices_inplace(pool, |chunk| microkernel::f16_round_trip_slice(kernel, chunk));
 }
 
 /// Symmetric per-tensor INT8 quantizer.
@@ -110,8 +129,24 @@ impl Int8Quantizer {
     /// Quantize-dequantize round trip over a matrix, simulating INT8 storage.
     pub fn round_trip(&self, m: &Matrix) -> Matrix {
         let mut out = m.clone();
-        out.map_inplace(|v| self.dequantize(self.quantize(v)));
+        self.round_trip_slice(microkernel::active(), out.as_mut_slice());
         out
+    }
+
+    /// Round trip over a raw slice with an explicit kernel. The SIMD path
+    /// is bit-exact against the scalar `dequantize(quantize(v))` for every
+    /// `f32` input, NaN and infinities included (see
+    /// [`microkernel::int8_round_trip_slice`]).
+    pub fn round_trip_slice(&self, kernel: Kernel, data: &mut [f32]) {
+        microkernel::int8_round_trip_slice(kernel, self.scale, data);
+    }
+
+    /// In-place round trip over a matrix, chunk-parallel on `pool` with an
+    /// explicit kernel; bitwise identical to the serial sweep at every
+    /// thread count.
+    pub fn round_trip_in_place_kernel(&self, pool: &ThreadPool, m: &mut Matrix, kernel: Kernel) {
+        let q = *self;
+        m.par_map_slices_inplace(pool, |chunk| q.round_trip_slice(kernel, chunk));
     }
 }
 

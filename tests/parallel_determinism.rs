@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use torchsparse::coords::Coord;
 use torchsparse::core::{
     BatchNorm, Engine, EnginePreset, FaultSite, Module, OptimizationConfig, Precision, ReLU,
-    Sequential, SparseConv3d, SparseTensor,
+    Sequential, SimdPolicy, SparseConv3d, SparseTensor,
 };
 use torchsparse::gpusim::DeviceProfile;
 use torchsparse::tensor::Matrix;
@@ -106,6 +106,41 @@ fn fixed_scene_bitwise_identical_across_thread_counts() {
         for threads in &THREADS[1..] {
             let parallel = output_bits(cfg.clone(), *threads, &m, &x);
             assert_eq!(reference, parallel, "{dataflow} diverges at {threads} threads");
+        }
+    }
+}
+
+/// The SIMD microkernels must be as invisible as the thread count: for
+/// every dataflow and storage precision, forcing the SIMD policy to
+/// `Scalar` (the pre-SIMD loops), `Portable` (fixed-width arrays), or
+/// leaving it on `Auto` (AVX2 where detected) yields bitwise identical
+/// outputs at every worker count. The non-FMA kernels preserve the scalar
+/// k-major mul-then-add accumulation order exactly, so this holds with no
+/// tolerance.
+#[test]
+fn simd_policy_bitwise_identical_across_dataflows_and_precisions() {
+    let sites: Vec<(i32, i32, i32)> =
+        (0..300).map(|i| ((i * 7) % 21 - 10, (i * 13) % 17 - 8, (i * 5) % 15 - 7)).collect();
+    let x = tensor_from(&sites, 4, 123);
+    let m = model(4, 123);
+    for (dataflow, cfg) in dataflow_configs() {
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let mut reference: Option<(Vec<Coord>, Vec<u32>)> = None;
+            for policy in [SimdPolicy::Scalar, SimdPolicy::Portable, SimdPolicy::Auto] {
+                for threads in THREADS {
+                    let mut cfg = cfg.clone();
+                    cfg.precision = precision;
+                    cfg.simd = policy;
+                    let out = output_bits(cfg, threads, &m, &x);
+                    match &reference {
+                        None => reference = Some(out),
+                        Some(r) => assert_eq!(
+                            r, &out,
+                            "{dataflow} @ {precision:?} diverges with {policy:?} at {threads} threads"
+                        ),
+                    }
+                }
+            }
         }
     }
 }
