@@ -1,0 +1,125 @@
+//! Fused vs unfused data-movement benchmark (the PR-5 counterpart of the
+//! paper's §4.3 fused/locality-aware gather-scatter ablation, measured on
+//! the real CPU executor instead of the GPU cost model).
+//!
+//! Runs the same geometry-static compiled MinkUNet stream twice — once
+//! with `fused_execution` off (materialized gather/psum workspace buffers
+//! around every GEMM, the PR-4 path) and once with the fused
+//! gather–GEMM–scatter microkernel — asserts the outputs are bitwise
+//! identical, checks that fused steady-state frames take zero workspace
+//! buffers, and writes `BENCH_fused.json`.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin fused_movement
+//! [--scale F] [--scenes N] [--seed N] [--out PATH]`
+//! (`--scenes` is the number of streamed frames.)
+
+use std::time::Instant;
+use torchsparse_bench::{build_model, dataset_for, BenchArgs};
+use torchsparse_core::{DeviceProfile, Engine, OptimizationConfig};
+use torchsparse_data::geometry_static_stream;
+use torchsparse_models::BenchmarkModel;
+
+const JITTER: f32 = 0.02;
+
+/// End-to-end speedup the fused path must reach over the buffered path.
+const TARGET_SPEEDUP: f64 = 1.25;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The A/B below toggles `fused_execution` per engine; the process-wide
+    // TORCHSPARSE_FUSED override would silently force both arms onto one
+    // path and the comparison would measure nothing.
+    if std::env::var("TORCHSPARSE_FUSED").is_ok() {
+        eprintln!("TORCHSPARSE_FUSED is set: it overrides the per-engine A/B this bench");
+        eprintln!("performs — unset it and rerun.");
+        std::process::exit(2);
+    }
+    // Default scale matches `parallel_scaling` (0.05): data movement is a
+    // per-entry cost, so the fused win is measured where maps are big
+    // enough for movement to dominate the fixed per-frame planning and
+    // cost-model overheads shared by both arms.
+    let args = BenchArgs::parse(0.05, 8);
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_fused.json".to_owned());
+
+    let bm = BenchmarkModel::MinkUNetNuScenes1;
+    let ds = dataset_for(bm, args.scale);
+    let base = ds.scene(args.seed)?;
+    let frames = geometry_static_stream(&base, args.scenes, JITTER, args.seed)?;
+    let model = build_model(bm, args.seed);
+
+    println!(
+        "== Fused gather-GEMM-scatter: {} ({} frames, {} points) ==\n",
+        bm.name(),
+        frames.len(),
+        base.len()
+    );
+
+    // wall[0] = unfused (PR-4 buffered path), wall[1] = fused.
+    let mut wall_ms = [0.0f64; 2];
+    let mut takes_per_frame = [0.0f64; 2];
+    let mut bits: Option<Vec<u32>> = None;
+    for (i, fused) in [false, true].into_iter().enumerate() {
+        let mut cfg = OptimizationConfig::torchsparse();
+        cfg.fused_execution = fused;
+        let mut session = Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
+            .compile(model.as_ref(), &frames[0])?;
+        session.execute(&frames[0])?; // warm workspaces and packed weights
+        let takes_before = session.engine().context().runtime.workspaces.total_takes();
+        let start = Instant::now();
+        let mut last = None;
+        for frame in &frames {
+            last = Some(session.execute(frame)?);
+        }
+        wall_ms[i] = start.elapsed().as_secs_f64() / frames.len() as f64 * 1e3;
+        let takes_after = session.engine().context().runtime.workspaces.total_takes();
+        takes_per_frame[i] = (takes_after - takes_before) as f64 / frames.len() as f64;
+        if let Some(y) = last {
+            let b: Vec<u32> = y.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+            match &bits {
+                None => bits = Some(b),
+                Some(r) => {
+                    assert_eq!(r, &b, "fused and unfused outputs must be bitwise identical")
+                }
+            }
+        }
+    }
+    assert_eq!(
+        takes_per_frame[1], 0.0,
+        "fused steady-state frames must take zero gather/psum workspace buffers"
+    );
+
+    let speedup = wall_ms[0] / wall_ms[1];
+    println!(
+        "unfused {:.2} ms/frame ({:.1} workspace takes/frame), fused {:.2} ms/frame \
+         (0 workspace takes/frame): {speedup:.2}x, outputs bitwise identical",
+        wall_ms[0], takes_per_frame[0], wall_ms[1]
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", bm.name()));
+    json.push_str(&format!("  \"frames\": {},\n", frames.len()));
+    json.push_str(&format!("  \"points\": {},\n", base.len()));
+    json.push_str(&format!("  \"unfused_ms_per_frame\": {:.3},\n", wall_ms[0]));
+    json.push_str(&format!("  \"fused_ms_per_frame\": {:.3},\n", wall_ms[1]));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str("  \"bitwise_identical\": true,\n");
+    json.push_str(&format!(
+        "  \"unfused_workspace_takes_per_frame\": {:.1},\n",
+        takes_per_frame[0]
+    ));
+    json.push_str("  \"fused_workspace_takes_per_frame\": 0,\n");
+    json.push_str("  \"fused_workspace_fresh_allocations_per_frame\": 0\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("\nwrote {out_path}");
+
+    if speedup < TARGET_SPEEDUP {
+        println!("WARNING: fused speedup {speedup:.2}x below the {TARGET_SPEEDUP}x target");
+    }
+    Ok(())
+}

@@ -56,11 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measured wall-clock at each worker count, real numerics. The first
     // pass warms the workspace arena so steady-state reuse is what gets
     // timed; outputs are compared bitwise against the 1-thread run.
+    //
+    // On a single-core host multi-thread wall clock is pure OS
+    // time-slicing — a "speedup" column of ~0.95x would only mislead — so
+    // those rows are skipped outright (and marked as such in the JSON);
+    // the modeled replay below is the scaling signal there.
+    let measured_counts: Vec<usize> =
+        if host_cores == 1 { vec![1] } else { THREAD_COUNTS.to_vec() };
+    let skipped_counts: Vec<usize> =
+        THREAD_COUNTS.iter().copied().filter(|t| !measured_counts.contains(t)).collect();
     let mut measured: Vec<(usize, f64)> = Vec::new();
     let mut reference_bits: Option<Vec<u32>> = None;
     let mut workspace_fresh = 0u64;
     let mut workspace_reuses = 0u64;
-    for &threads in &THREAD_COUNTS {
+    for &threads in &measured_counts {
         let mut engine = engine_with_threads(threads);
         let mut out = engine.run(model.as_ref(), &inputs[0])?;
         let start = Instant::now();
@@ -106,25 +115,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let base_wall = measured[0].1;
     let mut rows = Vec::new();
-    for &(threads, wall) in &measured {
+    for &threads in &THREAD_COUNTS {
         let modeled_speedup =
             modeled.iter().find(|(l, _, _)| *l == threads).map(|(_, _, s)| *s).unwrap_or(1.0);
-        // Honesty marker: with more workers than hardware cores the OS
-        // time-slices them, so the measured column says nothing about true
-        // scaling — only the modeled replay does.
-        let saturated = if threads > host_cores { " (saturated)" } else { "" };
-        rows.push(vec![
-            format!("{threads}{saturated}"),
-            format!("{:.1}", wall * 1e3),
-            fmt::speedup(base_wall / wall),
-            fmt::speedup(modeled_speedup),
-        ]);
+        match measured.iter().find(|(t, _)| *t == threads) {
+            Some(&(_, wall)) => {
+                // Honesty marker: with more workers than hardware cores the
+                // OS time-slices them, so the measured column says nothing
+                // about true scaling — only the modeled replay does.
+                let saturated = if threads > host_cores { " (saturated)" } else { "" };
+                rows.push(vec![
+                    format!("{threads}{saturated}"),
+                    format!("{:.1}", wall * 1e3),
+                    fmt::speedup(base_wall / wall),
+                    fmt::speedup(modeled_speedup),
+                ]);
+            }
+            None => rows.push(vec![
+                format!("{threads} (skipped)"),
+                "-".to_owned(),
+                "-".to_owned(),
+                fmt::speedup(modeled_speedup),
+            ]),
+        }
     }
     println!(
         "{}",
         fmt::table(&["threads", "wall ms/scene", "measured speedup", "modeled speedup"], &rows)
     );
-    if THREAD_COUNTS.iter().any(|&t| t > host_cores) {
+    if !skipped_counts.is_empty() {
+        println!(
+            "note: single-core host — multi-thread rows are not measured (wall clock there \
+             is OS time-slicing, not parallel scaling); use the modeled column"
+        );
+    } else if THREAD_COUNTS.iter().any(|&t| t > host_cores) {
         println!(
             "note: rows marked (saturated) ran more workers than the {host_cores} hardware \
              core(s); their measured speedup reflects OS time-slicing, not parallel scaling — \
@@ -151,15 +175,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     json.push_str("  \"bitwise_identical_across_threads\": true,\n");
     json.push_str("  \"measured\": [\n");
-    for (i, &(threads, wall)) in measured.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"threads\": {threads}, \"wall_ms_per_scene\": {:.3}, \"speedup\": {:.3}, \
-             \"saturated\": {}}}{}\n",
-            wall * 1e3,
-            base_wall / wall,
-            threads > host_cores,
-            if i + 1 < measured.len() { "," } else { "" }
-        ));
+    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let tail = if i + 1 < THREAD_COUNTS.len() { "," } else { "" };
+        match measured.iter().find(|(t, _)| *t == threads) {
+            Some(&(_, wall)) => json.push_str(&format!(
+                "    {{\"threads\": {threads}, \"wall_ms_per_scene\": {:.3}, \"speedup\": {:.3}, \
+                 \"saturated\": {}, \"skipped\": false}}{tail}\n",
+                wall * 1e3,
+                base_wall / wall,
+                threads > host_cores,
+            )),
+            None => json.push_str(&format!(
+                "    {{\"threads\": {threads}, \"skipped\": true, \
+                 \"reason\": \"single-core host: measured multi-thread wall clock is OS \
+                 time-slicing, not scaling\"}}{tail}\n"
+            )),
+        }
     }
     json.push_str("  ],\n");
     json.push_str("  \"modeled\": [\n");

@@ -140,6 +140,33 @@ pub struct OptimizationConfig {
     /// (no longer bitwise identical to the scalar kernel — typically a few
     /// ULPs tighter), so it is opt-in and off in every preset.
     pub fma_gemm: bool,
+    /// Execute real CPU convolutions through the fused
+    /// gather–GEMM–scatter path: kernel-map rows stream straight through
+    /// the microkernel without materializing gathered-feature or
+    /// partial-sum buffers. Bitwise identical to the unfused path at any
+    /// thread count, so it defaults on in every preset; the
+    /// `TORCHSPARSE_FUSED` environment variable (`off`/`on`) overrides
+    /// this field process-wide for A/B measurement. Only affects real
+    /// numerics — the GPU cost simulator always models the movement
+    /// pipeline selected by `fused_gather_scatter`.
+    pub fused_execution: bool,
+}
+
+/// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
+/// (`off`/`0`/`false` forces the unfused buffers, `on`/`1`/`true` forces
+/// fusion) wins over `config.fused_execution`. The variable is read once
+/// per process.
+pub fn fused_enabled(config: &OptimizationConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_FUSED").ok()?;
+        match raw.to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => Some(false),
+            "on" | "1" | "true" => Some(true),
+            _ => None,
+        }
+    });
+    forced.unwrap_or(config.fused_execution)
 }
 
 impl OptimizationConfig {
@@ -162,6 +189,7 @@ impl OptimizationConfig {
             threads: None,
             simd: SimdPolicy::Auto,
             fma_gemm: false,
+            fused_execution: true,
         }
     }
 
@@ -185,6 +213,10 @@ impl OptimizationConfig {
             threads: None,
             simd: SimdPolicy::Auto,
             fma_gemm: false,
+            // Like `simd`, fused execution is a host-executor detail, not
+            // one of the paper's ablated optimizations: it changes no bits,
+            // so even the baseline uses it.
+            fused_execution: true,
         }
     }
 
@@ -268,6 +300,7 @@ mod tests {
         assert!(c.fused_downsample && c.simplified_mapping_kernels && c.symmetric_map_search);
         assert!(matches!(c.grouping, GroupingStrategy::Adaptive { .. }));
         assert_eq!(c.map_search, MapSearchStrategy::Auto);
+        assert!(c.fused_execution);
     }
 
     #[test]
@@ -304,6 +337,11 @@ mod tests {
             let c = preset.config();
             assert!(!c.fma_gemm, "{}: FMA changes rounding and must be opt-in", preset.name());
             assert_eq!(c.simd, SimdPolicy::Auto);
+            assert!(
+                c.fused_execution,
+                "{}: fused execution is bitwise-neutral and defaults on",
+                preset.name()
+            );
         }
     }
 

@@ -2,7 +2,7 @@ use crate::config::{GroupingStrategy, Precision};
 use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
 use crate::dataflow::{
     apply_storage_precision_owned_kernel, compute_kernel, run_fetch_on_demand,
-    run_gather_matmul_scatter, ConvWorkload,
+    run_gather_matmul_scatter, ConvWorkload, FusedOrder,
 };
 use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
@@ -331,6 +331,17 @@ impl SparseConv3d {
             ConvDataflow::Grouped(plan_groups(&map_ref.sizes(), submanifold, strategy))
         };
 
+        // Plan-time locality reordering for the fused executor: sort each
+        // offset's entries by output row once per geometry, so every frame
+        // executed against this plan streams cache-friendly panels.
+        let fused = if crate::config::fused_enabled(&ctx.config) {
+            let n_out =
+                if use_fine { cached.fine_coords.len() } else { cached.coarse_coords.len() };
+            Some(Arc::new(FusedOrder::build(map_ref, n_out)))
+        } else {
+            None
+        };
+
         Ok(ConvPlan {
             cached,
             flipped,
@@ -340,6 +351,7 @@ impl SparseConv3d {
             submanifold,
             dataflow,
             packed: self.packed_weights(),
+            fused,
         })
     }
 
@@ -383,6 +395,7 @@ impl SparseConv3d {
             map: map_ref,
             n_out: out_coords.len(),
             center_identity: plan.center,
+            fused: plan.fused.as_deref(),
         };
 
         let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {

@@ -49,6 +49,11 @@ pub struct ConvWorkload<'a> {
     /// The center offset index if this is a submanifold layer whose center
     /// map is the identity (enables the §4.2.1 shortcut).
     pub center_identity: Option<usize>,
+    /// Plan-time locality ordering for the fused gather–GEMM–scatter
+    /// executor. `None` (or simulate-only mode, or
+    /// `fused_execution = false`) keeps the materialized gather/psum
+    /// buffer path.
+    pub fused: Option<&'a FusedOrder>,
 }
 
 /// Resolves the engine's [`SimdPolicy`] to a concrete compute kernel.
@@ -153,6 +158,66 @@ pub fn apply_storage_precision_owned_kernel(
 /// count) so the partition — and therefore every task's output — is
 /// identical at any pool width.
 const MOVE_CHUNK: usize = 64;
+
+/// Plan-time locality reordering for the fused dataflow: the paper's
+/// §4.3.2 locality-aware access orders, applied to the real CPU executor.
+///
+/// For every kernel offset the map entries are re-sorted by *output* row
+/// (stable, so entry order among equal outputs is preserved) and split at
+/// [`MOVE_CHUNK`]-row output boundaries. A fused execution task that owns
+/// output rows `[c*MOVE_CHUNK, (c+1)*MOVE_CHUNK)` then streams exactly
+/// `sorted[n][starts[n][c]..starts[n][c+1]]` for each offset `n` —
+/// contiguous and without scanning the rest of the map. Because the
+/// per-offset in/out maps are partial bijections, each output row appears
+/// at most once per offset, and the per-element accumulation order
+/// (offsets ascending, one FP32 add per entry) is exactly the unfused
+/// serial engine's.
+///
+/// Built once per [`ConvPlan`](crate::plan::ConvPlan), so compiled
+/// sessions pay the reorder once per geometry and reuse it every frame.
+#[derive(Debug, Clone)]
+pub struct FusedOrder {
+    /// Per-offset map entries, stably sorted by output row.
+    sorted: Vec<Vec<MapEntry>>,
+    /// Per-offset chunk split points (`chunks + 1` values each):
+    /// `starts[n][c]..starts[n][c + 1]` indexes the entries of `sorted[n]`
+    /// whose outputs land in output-row chunk `c`.
+    starts: Vec<Vec<u32>>,
+}
+
+impl FusedOrder {
+    /// Sorts and splits `map`'s entries for a convolution producing
+    /// `n_out` output rows.
+    #[must_use]
+    pub fn build(map: &KernelMap, n_out: usize) -> FusedOrder {
+        let chunks = n_out.div_ceil(MOVE_CHUNK);
+        let volume = map.num_offsets();
+        let mut sorted = Vec::with_capacity(volume);
+        let mut starts = Vec::with_capacity(volume);
+        for n in 0..volume {
+            let mut entries = map.entries(n).to_vec();
+            // Forward maps are already output-ascending; only transposed
+            // maps actually pay the sort.
+            if !entries.windows(2).all(|w| w[0].output <= w[1].output) {
+                entries.sort_by_key(|e| e.output);
+            }
+            let mut s = Vec::with_capacity(chunks + 1);
+            let mut i = 0usize;
+            for c in 0..chunks {
+                s.push(i as u32);
+                let hi = ((c + 1) * MOVE_CHUNK) as u32;
+                while i < entries.len() && entries[i].output < hi {
+                    i += 1;
+                }
+            }
+            s.push(i as u32);
+            debug_assert_eq!(i, entries.len(), "map output out of range");
+            sorted.push(entries);
+            starts.push(s);
+        }
+        FusedOrder { sorted, starts }
+    }
+}
 
 /// Copies `in_feats[entries[i].input] -> f[i]` for all entries, partitioned
 /// into [`MOVE_CHUNK`]-row tasks on the pool. Rows of `f` beyond
@@ -322,6 +387,90 @@ fn is_center_shortcut(w: &ConvWorkload<'_>, offsets: &[usize], ctx: &Context) ->
     ctx.config.skip_center_movement && offsets.len() == 1 && Some(offsets[0]) == w.center_identity
 }
 
+/// Executes the real numerics of one convolution through the fused
+/// gather–GEMM–scatter microkernel: kernel-map rows stream straight from
+/// `in_feats` through MR-row register tiles into `out`, with no gathered
+/// or partial-sum buffer in between.
+///
+/// Per output element the accumulation order is exactly the unfused
+/// engine's — a zero-initialized k-ascending dot product per map entry
+/// (the GEMM into a zeroed psum row), optional f16 rounding of that
+/// product (the 16-bit psum store), then one FP32 add per entry with
+/// offsets ascending (the scatter) — so results are bitwise identical to
+/// the buffered path at any thread count. Parallel tasks own disjoint
+/// [`MOVE_CHUNK`] output-row blocks; the partition never depends on the
+/// pool width.
+fn run_fused_numerics(
+    w: &ConvWorkload<'_>,
+    fused: &FusedOrder,
+    shortcut: Option<usize>,
+    round_f16: bool,
+    pool: &ThreadPool,
+    kernel: Kernel,
+    out: &mut Matrix,
+) {
+    let (c_in, c_out) = (w.c_in(), w.c_out());
+    if out.rows() == 0 || c_out == 0 {
+        return;
+    }
+    let a = w.in_feats.as_slice();
+    let operand = |n: usize| match w.packed {
+        Some(packed) => microkernel::BOperand::Packed(&packed[n]),
+        None => microkernel::BOperand::Dense(w.weights[n].as_slice()),
+    };
+    let volume = w.map.num_offsets();
+    let run_chunk = |c: usize, block: &mut [f32]| {
+        let base = (c * MOVE_CHUNK) as u32;
+        let mut in_rows = [0u32; MOVE_CHUNK];
+        let mut out_rel = [0u32; MOVE_CHUNK];
+        for n in 0..volume {
+            if Some(n) == shortcut {
+                continue;
+            }
+            let lo = fused.starts[n][c] as usize;
+            let hi = fused.starts[n][c + 1] as usize;
+            let entries = &fused.sorted[n][lo..hi];
+            // One offset contributes at most MOVE_CHUNK entries per chunk
+            // (outputs are unique within an offset); the sub-chunk loop
+            // only guards degenerate hand-built maps.
+            let mut i = 0;
+            while i < entries.len() {
+                let cnt = (entries.len() - i).min(MOVE_CHUNK);
+                for (j, e) in entries[i..i + cnt].iter().enumerate() {
+                    in_rows[j] = e.input;
+                    out_rel[j] = e.output - base;
+                }
+                microkernel::gemm_gather_scatter(
+                    kernel,
+                    a,
+                    c_in,
+                    &in_rows[..cnt],
+                    operand(n),
+                    c_out,
+                    round_f16,
+                    block,
+                    &out_rel[..cnt],
+                );
+                i += cnt;
+            }
+        }
+    };
+    if pool.threads() <= 1 && !pool.is_recording() {
+        for (c, block) in out.as_mut_slice().chunks_mut(MOVE_CHUNK * c_out).enumerate() {
+            run_chunk(c, block);
+        }
+        return;
+    }
+    let run_chunk = &run_chunk;
+    let tasks: Vec<Task<'_>> = out
+        .as_mut_slice()
+        .chunks_mut(MOVE_CHUNK * c_out)
+        .enumerate()
+        .map(|(c, block)| Box::new(move || run_chunk(c, block)) as Task<'_>)
+        .collect();
+    pool.run(tasks);
+}
+
 /// Executes Algorithm 2 with the configured optimizations; returns the
 /// output feature matrix (`n_out x c_out`).
 ///
@@ -342,13 +491,42 @@ pub fn run_gather_matmul_scatter(
     let mut out = Matrix::zeros(w.n_out, w.c_out());
 
     // ---- Real computation (order-independent). -------------------------
-    // Gather per-offset feature matrices, run the (b)mm, keep partial sums.
-    // Gather/psum buffers come from the context's workspace arena and are
-    // returned after the scatter, so steady-state forward passes allocate
-    // no feature buffers. Skipped entirely in simulate-only mode: latency
-    // depends on the map structure, never on feature values.
+    // Fused route: no gather/psum buffers at all — map rows stream through
+    // the microkernel straight into `out`, with the §4.2.1 center shortcut
+    // still running as one dense GEMM first. Grouping is bitwise-neutral
+    // for numerics (bmm pad rows are zero and never scattered), so the
+    // fused path ignores it; the simulated cost below still models the
+    // configured grouping/movement kernels either way.
+    let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
+        None
+    } else {
+        w.fused
+    };
+    if let Some(order) = fused_order {
+        let shortcut = plan
+            .groups
+            .iter()
+            .find(|g| is_center_shortcut(w, &g.offsets, ctx))
+            .map(|g| g.offsets[0]);
+        if let Some(n0) = shortcut {
+            match w.packed {
+                Some(packed) => {
+                    gemm::mm_into_packed_on(&pool, w.in_feats, &packed[n0], &mut out, opts)?;
+                }
+                None => gemm::mm_into_with(&pool, w.in_feats, &w.weights[n0], &mut out, opts)?,
+            }
+        }
+        let round_f16 = ctx.config.precision != Precision::Fp32;
+        run_fused_numerics(w, order, shortcut, round_f16, &pool, kernel, &mut out);
+    }
+    // Unfused route: gather per-offset feature matrices, run the (b)mm,
+    // keep partial sums. Gather/psum buffers come from the context's
+    // workspace arena and are returned after the scatter, so steady-state
+    // forward passes allocate no feature buffers. Skipped entirely in
+    // simulate-only mode: latency depends on the map structure, never on
+    // feature values.
     let mut psums: Vec<Option<Matrix>> = vec![None; w.map.num_offsets()];
-    let run_numerics = !ctx.simulate_only;
+    let run_numerics = !ctx.simulate_only && fused_order.is_none();
     for g in plan.groups.iter().filter(|_| run_numerics) {
         if is_center_shortcut(w, &g.offsets, ctx) {
             // out += in . W_center, rows aligned by the identity map.
@@ -427,7 +605,9 @@ pub fn run_gather_matmul_scatter(
         }
     }
     // Scatter-accumulate (FP32 accumulation registers).
-    scatter_accumulate(&pool, kernel, w.map, &psums, &mut out);
+    if run_numerics {
+        scatter_accumulate(&pool, kernel, w.map, &psums, &mut out);
+    }
     for p in psums.drain(..).flatten() {
         ctx.runtime.workspaces.give(p);
     }
@@ -659,30 +839,44 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     let pool = ctx.runtime.pool();
     let kernel = compute_kernel(&ctx.config);
     let opts = gemm_opts(&ctx.config);
-    // One scratch pair reused across all K^3 neighborhoods (previously a
-    // fresh gather matrix was allocated per offset): reshape keeps the
-    // backing storage whenever capacity suffices, and the buffers return to
-    // the workspace arena afterwards for the next layer or forward pass.
-    let mut scratch = ctx.runtime.workspaces.take(0, w.c_in());
-    let mut psum = ctx.runtime.workspaces.take(0, w.c_out());
+    // Fused route: stream map rows straight through the microkernel into
+    // `out` — no scratch buffers taken at all. Fetch-on-demand keeps its
+    // partial sums in FP32 (no 16-bit psum store), hence `round_f16:
+    // false`, and never uses the center shortcut.
+    let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
+        None
+    } else {
+        w.fused
+    };
+    if let Some(order) = fused_order {
+        run_fused_numerics(w, order, None, false, &pool, kernel, &mut out);
+    }
+    // Unfused route: one scratch pair reused across all K^3 neighborhoods
+    // (previously a fresh gather matrix was allocated per offset): reshape
+    // keeps the backing storage whenever capacity suffices, and the buffers
+    // return to the workspace arena afterwards for the next layer or
+    // forward pass.
+    let mut buffers = (!ctx.simulate_only && fused_order.is_none()).then(|| {
+        (ctx.runtime.workspaces.take(0, w.c_in()), ctx.runtime.workspaces.take(0, w.c_out()))
+    });
 
     for n in 0..w.map.num_offsets() {
         let entries = w.map.entries(n);
         if entries.is_empty() {
             continue;
         }
-        if !ctx.simulate_only {
+        if let Some((scratch, psum)) = &mut buffers {
             // Real compute: out[k] += in[j] . W_n per entry. Executed as one
             // blocked GEMM over the offset's rows — numerically identical to
             // the per-entry row-by-matrix products of the device kernel.
             scratch.reshape_zeroed(entries.len(), w.c_in());
-            gather_rows(&pool, kernel, w.in_feats, entries, &mut scratch);
+            gather_rows(&pool, kernel, w.in_feats, entries, scratch);
             psum.reshape_zeroed(entries.len(), w.c_out());
             match w.packed {
                 Some(packed) => {
-                    gemm::mm_into_packed_on(&pool, &scratch, &packed[n], &mut psum, opts)?;
+                    gemm::mm_into_packed_on(&pool, &*scratch, &packed[n], psum, opts)?;
                 }
-                None => gemm::mm_into_with(&pool, &scratch, &w.weights[n], &mut psum, opts)?,
+                None => gemm::mm_into_with(&pool, &*scratch, &w.weights[n], psum, opts)?,
             }
             for (i, e) in entries.iter().enumerate() {
                 let dst = out.row_mut(e.output as usize);
@@ -702,8 +896,10 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
         compute += torchsparse_gpusim::Micros(compute_us + ctx.device.launch_overhead_us);
     }
 
-    ctx.runtime.workspaces.give(scratch);
-    ctx.runtime.workspaces.give(psum);
+    if let Some((scratch, psum)) = buffers {
+        ctx.runtime.workspaces.give(scratch);
+        ctx.runtime.workspaces.give(psum);
+    }
     let report = ctx.mem.take_report();
     ctx.timeline.add(Stage::Gather, report.latency(&ctx.device));
     ctx.timeline.add(Stage::MatMul, compute);
@@ -810,6 +1006,7 @@ mod tests {
                             map: &map,
                             n_out,
                             center_identity: Some(13),
+                            fused: None,
                         };
                         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
                         let diff = out.max_abs_diff(&expect).unwrap();
@@ -836,6 +1033,7 @@ mod tests {
             map: &map,
             n_out,
             center_identity: Some(13),
+            fused: None,
         };
         let out = run_fetch_on_demand(&w, &mut ctx).unwrap();
         assert!(out.max_abs_diff(&expect).unwrap() < 1e-3);
@@ -857,6 +1055,7 @@ mod tests {
             map: &map,
             n_out,
             center_identity: Some(13),
+            fused: None,
         };
         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         let rel = out.max_abs_diff(&expect).unwrap() / expect.frobenius_norm().max(1e-6);
@@ -875,6 +1074,7 @@ mod tests {
             map: &map,
             n_out: coords.len(),
             center_identity: Some(13),
+            fused: None,
         };
         run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         assert!(ctx.timeline.stage(Stage::Gather).as_f64() > 0.0);
@@ -897,6 +1097,7 @@ mod tests {
                 map: &map,
                 n_out: coords.len(),
                 center_identity: Some(13),
+                fused: None,
             };
             run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
             ctx.timeline.data_movement().as_f64()
@@ -920,10 +1121,69 @@ mod tests {
             map: &map,
             n_out,
             center_identity: Some(13),
+            fused: None,
         };
         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         // INT8 storage was not applied to in_feats here (the conv layer does
         // that); this exercises the int8 *movement* path only.
         assert!(out.max_abs_diff(&expect).unwrap() < 1.0);
+    }
+
+    fn bits_of(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_executor_bitwise_matches_unfused() {
+        let (coords, feats, weights, map) = workload_parts(8, 16);
+        let n_out = coords.len();
+        let order = FusedOrder::build(&map, n_out);
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            for skip_center in [false, true] {
+                let mut cfg = OptimizationConfig::torchsparse();
+                cfg.precision = precision;
+                cfg.skip_center_movement = skip_center;
+                let run = |fused: Option<&FusedOrder>| {
+                    let mut ctx = ctx_with(cfg.clone());
+                    let plan = plan_groups(&map.sizes(), true, cfg.grouping);
+                    let w = ConvWorkload {
+                        in_feats: &feats,
+                        weights: &weights,
+                        packed: None,
+                        map: &map,
+                        n_out,
+                        center_identity: Some(13),
+                        fused,
+                    };
+                    run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap()
+                };
+                assert_eq!(
+                    bits_of(&run(Some(&order))),
+                    bits_of(&run(None)),
+                    "{precision:?} skip_center={skip_center}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_fetch_on_demand_bitwise_matches_unfused() {
+        let (coords, feats, weights, map) = workload_parts(6, 10);
+        let n_out = coords.len();
+        let order = FusedOrder::build(&map, n_out);
+        let run = |fused: Option<&FusedOrder>| {
+            let mut ctx = ctx_with(OptimizationConfig::minkowski_engine());
+            let w = ConvWorkload {
+                in_feats: &feats,
+                weights: &weights,
+                packed: None,
+                map: &map,
+                n_out,
+                center_identity: Some(13),
+                fused,
+            };
+            run_fetch_on_demand(&w, &mut ctx).unwrap()
+        };
+        assert_eq!(bits_of(&run(Some(&order))), bits_of(&run(None)));
     }
 }

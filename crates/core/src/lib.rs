@@ -62,7 +62,8 @@ pub mod tuning;
 pub mod validate;
 
 pub use config::{
-    EnginePreset, GroupingStrategy, MapSearchStrategy, OptimizationConfig, Precision, SimdPolicy,
+    fused_enabled, EnginePreset, GroupingStrategy, MapSearchStrategy, OptimizationConfig,
+    Precision, SimdPolicy,
 };
 pub use context::{Context, LayerProfile, LayerWorkload, MapKey};
 pub use conv::SparseConv3d;

@@ -18,6 +18,7 @@
 //! - [`PlanCacheStats`]: hit/miss/invalidation counters for plan reuse.
 
 use crate::context::CachedMap;
+use crate::dataflow::FusedOrder;
 use crate::grouping::GroupPlan;
 use crate::{BatchNorm, GlobalPool, ReLU, SparseConv3d, SparseMaxPool3d};
 use std::sync::Arc;
@@ -124,6 +125,11 @@ pub(crate) struct ConvPlan {
     /// lazy pack cache: packing happens once per layer, and every frame
     /// executed against this plan streams the packed panels.
     pub(crate) packed: Arc<Vec<PackedB>>,
+    /// Plan-time locality ordering for the fused gather–GEMM–scatter
+    /// executor (map entries re-sorted by output row and split at
+    /// output-chunk boundaries). `None` when fused execution is disabled;
+    /// compiled sessions build it once per geometry.
+    pub(crate) fused: Option<Arc<FusedOrder>>,
 }
 
 impl ConvPlan {

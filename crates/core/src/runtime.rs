@@ -102,6 +102,15 @@ impl WorkspacePool {
         self.free.len()
     }
 
+    /// Total `take` calls served (fresh or recycled). The fused
+    /// gather–GEMM–scatter executor never takes movement buffers at all,
+    /// so under `fused_execution` a steady-state forward pass leaves this
+    /// counter unchanged — a stronger property than "no fresh
+    /// allocations", which recycling alone already provides.
+    pub fn total_takes(&self) -> u64 {
+        self.fresh_allocations + self.reuses
+    }
+
     /// Drops every parked buffer (counters are kept).
     pub fn clear(&mut self) {
         self.free.clear();

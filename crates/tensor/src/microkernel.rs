@@ -207,7 +207,18 @@ pub fn gemm_panel(
     }
     match (kernel, b) {
         (Kernel::Scalar, BOperand::Dense(bd)) => panel_scalar_dense(a, bd, k, n, row0, c_panel),
-        // Scalar has no packed form of its own: the portable loop *is*
+        // Below the skinny-shape threshold the portable kernel's per-panel
+        // accumulator copy-in/copy-out outweighs its vectorized inner loop
+        // (BENCH_gemm.json: c_in=4 runs at 8.1 GFLOP/s portable vs 11.1
+        // scalar), so the scalar loop takes over. Bitwise identical either
+        // way — the swap is purely a throughput heuristic.
+        (Kernel::Portable, BOperand::Dense(bd)) if k < PORTABLE_MIN_K => {
+            panel_scalar_dense(a, bd, k, n, row0, c_panel);
+        }
+        (Kernel::Scalar | Kernel::Portable, BOperand::Packed(pb)) if k < PORTABLE_MIN_K => {
+            panel_scalar_packed(a, pb, k, n, row0, c_panel);
+        }
+        // Scalar has no wide packed form of its own: the portable loop *is*
         // scalar Rust with the same per-element order.
         (Kernel::Scalar | Kernel::Portable, BOperand::Packed(pb)) => {
             panel_portable_packed(a, pb, k, n, row0, c_panel);
@@ -228,6 +239,13 @@ pub fn gemm_panel(
         }
     }
 }
+
+/// Reduction-depth threshold below which the portable kernel falls back to
+/// the scalar loops: with so few `k` terms per output element, the portable
+/// kernel's [`NR`]-lane accumulator traffic costs more than its vector math
+/// earns (measured crossover between `c_in = 4` and `c_in = 32` in
+/// BENCH_gemm.json). Only a dispatch choice — never a numerics change.
+const PORTABLE_MIN_K: usize = 8;
 
 /// Cache block size along the reduction dimension of the scalar kernel
 /// (unchanged from the pre-vectorization GEMM; per-element order is `kk`
@@ -335,6 +353,166 @@ fn panel_portable_packed(
             }
             c_row.copy_from_slice(&acc[..w]);
         }
+    }
+}
+
+/// Scalar-style panel kernel over a [`PackedB`]: accumulates straight into
+/// the C rows without the portable kernel's accumulator-array staging —
+/// the profitable shape below [`PORTABLE_MIN_K`], where staging costs more
+/// than the handful of `k` terms it amortizes. Per-element order is `kk`
+/// ascending with the zero-skip, identical to every other kernel.
+fn panel_scalar_packed(
+    a: &[f32],
+    pb: &PackedB,
+    k: usize,
+    n: usize,
+    row0: usize,
+    c_panel: &mut [f32],
+) {
+    debug_assert_eq!(pb.k, k);
+    debug_assert_eq!(pb.n, n);
+    let rows_here = c_panel.len() / n;
+    for p in 0..n.div_ceil(NR) {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let panel = pb.panel(p);
+        for r in 0..rows_here {
+            let a_row = &a[(row0 + r) * k..(row0 + r) * k + k];
+            let c_row = &mut c_panel[r * n + j0..r * n + j0 + w];
+            for (kk, &aval) in a_row.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let b_row = &panel[kk * NR..kk * NR + w];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Fused gather–GEMM–scatter over one batch of kernel-map entries.
+///
+/// For each entry `i`, computes the row product
+/// `a[in_rows[i]] · B` (A rows read *through* the map indices — the gather
+/// is folded into the panel loads, no materialized A or partial-sum buffer
+/// exists), optionally rounds the product to binary16 (the unfused path's
+/// 16-bit partial-sum storage), and accumulates it into row `out_rel[i]` of
+/// `out` (a row-major block with `n` columns) with one FP32 add per
+/// element — the scatter epilogue.
+///
+/// # Bitwise contract
+///
+/// Per output element this performs exactly the unfused sequence: a
+/// zero-initialized dot product over `kk` ascending with mul-then-add and
+/// the `a == 0.0` skip (the GEMM into a zeroed psum buffer), an optional
+/// per-element f16 round trip (psum storage), then a single `+=` into the
+/// output row (the scatter). All non-FMA kernels therefore produce bits
+/// identical to gather → GEMM → scatter at any tiling.
+///
+/// # Panics
+///
+/// Panics when index/shape invariants are violated: mismatched
+/// `in_rows`/`out_rel` lengths, an `in_rows` entry past `a`'s rows, an
+/// `out_rel` entry past `out`'s rows, or a B operand smaller than `k x n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_gather_scatter(
+    kernel: Kernel,
+    a: &[f32],
+    k: usize,
+    in_rows: &[u32],
+    b: BOperand<'_>,
+    n: usize,
+    round_f16: bool,
+    out: &mut [f32],
+    out_rel: &[u32],
+) {
+    assert_eq!(in_rows.len(), out_rel.len(), "one output row per gathered row");
+    if n == 0 || in_rows.is_empty() {
+        return;
+    }
+    for &src in in_rows {
+        assert!(k == 0 || (src as usize + 1) * k <= a.len(), "gather row in bounds");
+    }
+    for &dst in out_rel {
+        assert!((dst as usize + 1) * n <= out.len(), "scatter row in bounds");
+    }
+    match b {
+        BOperand::Dense(bd) => assert!(bd.len() >= k * n, "dense B holds k x n"),
+        BOperand::Packed(pb) => {
+            assert_eq!(pb.k, k);
+            assert_eq!(pb.n, n);
+        }
+    }
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 | Kernel::Avx2Fma => {
+            x86::fused_rows(kernel, a, k, in_rows, b, n, round_f16, out, out_rel);
+        }
+        _ => fused_rows_portable(kernel, a, k, in_rows, b, n, round_f16, out, out_rel, 0),
+    }
+}
+
+/// Safe fused kernel shared by `Scalar` and `Portable` (their per-element
+/// order is identical, so one loop serves both), and the ragged-tail
+/// delegate of the AVX2 path (`j_start` marks where the full-width panels
+/// stopped).
+#[allow(clippy::too_many_arguments)]
+fn fused_rows_portable(
+    kernel: Kernel,
+    a: &[f32],
+    k: usize,
+    in_rows: &[u32],
+    b: BOperand<'_>,
+    n: usize,
+    round_f16: bool,
+    out: &mut [f32],
+    out_rel: &[u32],
+    j_start: usize,
+) {
+    let mut j0 = j_start;
+    while j0 < n {
+        let w = NR.min(n - j0);
+        for (&src, &dst) in in_rows.iter().zip(out_rel) {
+            let a_row = &a[src as usize * k..src as usize * k + k];
+            let mut acc = [0.0f32; NR];
+            match b {
+                BOperand::Dense(bd) => {
+                    for (kk, &aval) in a_row.iter().enumerate() {
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let b_row = &bd[kk * n + j0..kk * n + j0 + w];
+                        for (av, bv) in acc.iter_mut().zip(b_row) {
+                            *av += aval * bv;
+                        }
+                    }
+                }
+                BOperand::Packed(pb) => {
+                    // Padded lanes multiply stored zeros into acc[w..],
+                    // which is never read back.
+                    let panel = pb.panel(j0 / NR);
+                    for (kk, &aval) in a_row.iter().enumerate() {
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let b_row = &panel[kk * NR..kk * NR + NR];
+                        for (av, bv) in acc.iter_mut().zip(b_row) {
+                            *av += aval * bv;
+                        }
+                    }
+                }
+            }
+            if round_f16 {
+                f16_round_trip_slice(kernel, &mut acc[..w]);
+            }
+            let o = dst as usize * n + j0;
+            for (ov, av) in out[o..o + w].iter_mut().zip(&acc[..w]) {
+                *ov += av;
+            }
+        }
+        j0 += NR;
     }
 }
 
@@ -531,20 +709,21 @@ mod x86 {
 
     /// Register block: `R` rows of A against one NR-wide column panel of B.
     ///
+    /// `a_rows` holds each A row's base pointer — contiguous matrix rows for
+    /// the plain GEMM, or kernel-map-gathered rows for the fused path (the
+    /// gather is folded into the loads; there is no materialized A panel).
     /// `b_panel` points at the panel's first row, `b_stride` is the float
     /// distance between consecutive `kk` rows (`n` for dense B, [`NR`] for
     /// packed), `c_ptr` at `C[row][j0]` with row stride `c_stride`.
     ///
     /// # Safety
     ///
-    /// Requires AVX2 (and FMA when `FMA`); `a` must hold rows
-    /// `a_row0 .. a_row0 + R` of length `k`, `b_panel` must stay readable
-    /// for `k` strides of [`NR`] floats, and `c_ptr` writable for `R` rows
-    /// of [`NR`] floats.
+    /// Requires AVX2 (and FMA when `FMA`); every `a_rows[i]` must stay
+    /// readable for `k` floats, `b_panel` for `k` strides of [`NR`] floats,
+    /// and `c_ptr` writable for `R` rows of [`NR`] floats.
     #[inline(always)]
     unsafe fn block_rows<const FMA: bool, const R: usize>(
-        a: &[f32],
-        a_row0: usize,
+        a_rows: [*const f32; R],
         k: usize,
         b_panel: *const f32,
         b_stride: usize,
@@ -558,7 +737,6 @@ mod x86 {
                 acc0[i] = _mm256_loadu_ps(c_ptr.add(i * c_stride));
                 acc1[i] = _mm256_loadu_ps(c_ptr.add(i * c_stride + LANES));
             }
-            let a_ptr = a.as_ptr();
             for kk in 0..k {
                 let b_row = b_panel.add(kk * b_stride);
                 let b0 = _mm256_loadu_ps(b_row);
@@ -568,7 +746,7 @@ mod x86 {
                     // rows (bmm padding) contribute nothing, and skipping
                     // keeps bitwise parity with the original loop even for
                     // signed zeros.
-                    let aval = *a_ptr.add((a_row0 + i) * k + kk);
+                    let aval = *a_rows[i].add(kk);
                     if aval != 0.0 {
                         let av = _mm256_set1_ps(aval);
                         if FMA {
@@ -607,13 +785,16 @@ mod x86 {
             // slice contract.
             unsafe {
                 let b_panel = b.as_ptr().add(j0);
+                let a_ptr = a.as_ptr();
                 let mut r = 0;
                 while r + MR <= rows_here {
-                    block_rows::<FMA, MR>(a, row0 + r, k, b_panel, n, c_base.add(r * n + j0), n);
+                    let rows = std::array::from_fn(|i| a_ptr.add((row0 + r + i) * k));
+                    block_rows::<FMA, MR>(rows, k, b_panel, n, c_base.add(r * n + j0), n);
                     r += MR;
                 }
                 while r < rows_here {
-                    block_rows::<FMA, 1>(a, row0 + r, k, b_panel, n, c_base.add(r * n + j0), n);
+                    let rows = [a_ptr.add((row0 + r) * k)];
+                    block_rows::<FMA, 1>(rows, k, b_panel, n, c_base.add(r * n + j0), n);
                     r += 1;
                 }
             }
@@ -646,11 +827,12 @@ mod x86 {
                 // SAFETY: full-width panel — NR floats exist at every C row
                 // offset j0 and at every packed row.
                 unsafe {
+                    let a_ptr = a.as_ptr();
                     let mut r = 0;
                     while r + MR <= rows_here {
+                        let rows = std::array::from_fn(|i| a_ptr.add((row0 + r + i) * k));
                         block_rows::<FMA, MR>(
-                            a,
-                            row0 + r,
+                            rows,
                             k,
                             panel.as_ptr(),
                             NR,
@@ -660,9 +842,9 @@ mod x86 {
                         r += MR;
                     }
                     while r < rows_here {
+                        let rows = [a_ptr.add((row0 + r) * k)];
                         block_rows::<FMA, 1>(
-                            a,
-                            row0 + r,
+                            rows,
                             k,
                             panel.as_ptr(),
                             NR,
@@ -683,19 +865,144 @@ mod x86 {
                     // SAFETY: the tile is NR floats on the stack and the
                     // packed panel rows are NR floats each.
                     unsafe {
-                        block_rows::<FMA, 1>(
-                            a,
-                            row0 + r,
-                            k,
-                            panel.as_ptr(),
-                            NR,
-                            tile.as_mut_ptr(),
-                            NR,
-                        );
+                        let rows = [a.as_ptr().add((row0 + r) * k)];
+                        block_rows::<FMA, 1>(rows, k, panel.as_ptr(), NR, tile.as_mut_ptr(), NR);
                     }
                     c_row.copy_from_slice(&tile[..w]);
                 }
             }
+        }
+    }
+
+    /// AVX2 entry point for the fused gather–GEMM–scatter kernel. Shapes
+    /// and indices were validated by the safe wrapper
+    /// ([`gemm_gather_scatter`](super::gemm_gather_scatter)).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn fused_rows(
+        kernel: super::Kernel,
+        a: &[f32],
+        k: usize,
+        in_rows: &[u32],
+        b: BOperand<'_>,
+        n: usize,
+        round_f16: bool,
+        out: &mut [f32],
+        out_rel: &[u32],
+    ) {
+        // SAFETY: callers select the AVX2 kernels only after cpu_features()
+        // reported avx2 (and fma for the fused-multiply-add form).
+        unsafe {
+            if kernel == super::Kernel::Avx2Fma {
+                fused_rows_fma(kernel, a, k, in_rows, b, n, round_f16, out, out_rel);
+            } else {
+                fused_rows_avx2(kernel, a, k, in_rows, b, n, round_f16, out, out_rel);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fused_rows_avx2(
+        kernel: super::Kernel,
+        a: &[f32],
+        k: usize,
+        in_rows: &[u32],
+        b: BOperand<'_>,
+        n: usize,
+        round_f16: bool,
+        out: &mut [f32],
+        out_rel: &[u32],
+    ) {
+        unsafe { fused_rows_impl::<false>(kernel, a, k, in_rows, b, n, round_f16, out, out_rel) }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fused_rows_fma(
+        kernel: super::Kernel,
+        a: &[f32],
+        k: usize,
+        in_rows: &[u32],
+        b: BOperand<'_>,
+        n: usize,
+        round_f16: bool,
+        out: &mut [f32],
+        out_rel: &[u32],
+    ) {
+        unsafe { fused_rows_impl::<true>(kernel, a, k, in_rows, b, n, round_f16, out, out_rel) }
+    }
+
+    /// Register-tiled fused kernel: [`MR`]-entry groups of map rows against
+    /// each full [`NR`]-wide column panel of B, computed into a zeroed
+    /// stack tile (A rows loaded straight through the gather indices),
+    /// optionally f16-rounded, then added into the scattered output rows.
+    /// Ragged tail columns delegate to the portable loop, which accumulates
+    /// each element in the identical order.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn fused_rows_impl<const FMA: bool>(
+        kernel: super::Kernel,
+        a: &[f32],
+        k: usize,
+        in_rows: &[u32],
+        b: BOperand<'_>,
+        n: usize,
+        round_f16: bool,
+        out: &mut [f32],
+        out_rel: &[u32],
+    ) {
+        let full = n / NR;
+        let a_ptr = a.as_ptr();
+        for p in 0..full {
+            let j0 = p * NR;
+            // SAFETY: j0 + NR <= n for full panels; the safe wrapper bounds-
+            // checked every gather index against `a` and every scatter index
+            // against `out`, and B covers k x n (packed panels are k x NR).
+            unsafe {
+                let (b_panel, b_stride) = match b {
+                    BOperand::Dense(bd) => (bd.as_ptr().add(j0), n),
+                    BOperand::Packed(pb) => (pb.panel(p).as_ptr(), NR),
+                };
+                let mut r = 0;
+                while r + MR <= in_rows.len() {
+                    let rows = std::array::from_fn(|i| a_ptr.add(in_rows[r + i] as usize * k));
+                    let mut tile = [0.0f32; MR * NR];
+                    block_rows::<FMA, MR>(rows, k, b_panel, b_stride, tile.as_mut_ptr(), NR);
+                    for (i, row) in tile.chunks_mut(NR).enumerate() {
+                        if round_f16 {
+                            super::f16_round_trip_slice(kernel, row);
+                        }
+                        let o = out_rel[r + i] as usize * n + j0;
+                        accumulate_row(&mut out[o..o + NR], row);
+                    }
+                    r += MR;
+                }
+                while r < in_rows.len() {
+                    let rows = [a_ptr.add(in_rows[r] as usize * k)];
+                    let mut tile = [0.0f32; NR];
+                    block_rows::<FMA, 1>(rows, k, b_panel, b_stride, tile.as_mut_ptr(), NR);
+                    if round_f16 {
+                        super::f16_round_trip_slice(kernel, &mut tile);
+                    }
+                    let o = out_rel[r] as usize * n + j0;
+                    accumulate_row(&mut out[o..o + NR], &tile);
+                    r += 1;
+                }
+            }
+        }
+        if full * NR < n {
+            super::fused_rows_portable(
+                kernel,
+                a,
+                k,
+                in_rows,
+                b,
+                n,
+                round_f16,
+                out,
+                out_rel,
+                full * NR,
+            );
         }
     }
 
@@ -1030,6 +1337,116 @@ mod tests {
                 let mut c = Matrix::zeros(8, 19);
                 run_panel(kernel, &a, operand, 19, &mut c);
                 assert_eq!(bits(&c), bits(&reference), "{}", kernel.name());
+            }
+        }
+    }
+
+    /// Unfused reference for the fused kernel: materialized gather, GEMM
+    /// into a zeroed psum buffer, optional f16 psum rounding, then scatter
+    /// accumulation — the exact sequence `gemm_gather_scatter` folds away.
+    fn fused_reference(
+        kernel: Kernel,
+        a: &Matrix,
+        b: &Matrix,
+        entries: &[(u32, u32)],
+        n_out: usize,
+        round_f16: bool,
+    ) -> Matrix {
+        let (k, n) = b.shape();
+        let mut gathered = Matrix::zeros(entries.len(), k);
+        for (i, &(src, _)) in entries.iter().enumerate() {
+            copy_row(kernel, gathered.row_mut(i), a.row(src as usize));
+        }
+        let mut psum = Matrix::zeros(entries.len(), n);
+        run_panel(kernel, &gathered, BOperand::Dense(b.as_slice()), n, &mut psum);
+        if round_f16 {
+            f16_round_trip_slice(kernel, psum.as_mut_slice());
+        }
+        let mut out = Matrix::zeros(n_out, n);
+        for (i, &(_, dst)) in entries.iter().enumerate() {
+            accumulate_row(kernel, out.row_mut(dst as usize), psum.row(i));
+        }
+        out
+    }
+
+    fn run_fused(
+        kernel: Kernel,
+        a: &Matrix,
+        b: BOperand<'_>,
+        n: usize,
+        entries: &[(u32, u32)],
+        n_out: usize,
+        round_f16: bool,
+    ) -> Matrix {
+        let in_rows: Vec<u32> = entries.iter().map(|&(s, _)| s).collect();
+        let out_rel: Vec<u32> = entries.iter().map(|&(_, d)| d).collect();
+        let mut out = Matrix::zeros(n_out, n);
+        gemm_gather_scatter(
+            kernel,
+            a.as_slice(),
+            a.cols(),
+            &in_rows,
+            b,
+            n,
+            round_f16,
+            out.as_mut_slice(),
+            &out_rel,
+        );
+        out
+    }
+
+    #[test]
+    fn fused_matches_gather_gemm_scatter_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m_in, k, n, n_out, n_entries) in &[
+            (10usize, 8usize, 16usize, 10usize, 10usize),
+            (20, 4, 32, 12, 17),  // skinny k, MR-ragged entry count
+            (15, 16, 31, 15, 15), // ragged tail columns
+            (8, 3, 7, 9, 5),      // below one panel
+            (30, 32, 64, 30, 64), // full tiles
+            (6, 1, 24, 6, 3),     // k = 1
+        ] {
+            let a = random_matrix(&mut rng, m_in, k);
+            let b = random_matrix(&mut rng, k, n);
+            let packed = PackedB::pack(&b);
+            let entries: Vec<(u32, u32)> = (0..n_entries)
+                .map(|_| (rng.random_range(0..m_in as u32), rng.random_range(0..n_out as u32)))
+                .collect();
+            for round_f16 in [false, true] {
+                let reference = fused_reference(Kernel::Scalar, &a, &b, &entries, n_out, round_f16);
+                for kernel in every_kernel() {
+                    for (label, operand) in [
+                        ("dense", BOperand::Dense(b.as_slice())),
+                        ("packed", BOperand::Packed(&packed)),
+                    ] {
+                        let out = run_fused(kernel, &a, operand, n, &entries, n_out, round_f16);
+                        assert_eq!(
+                            bits(&out),
+                            bits(&reference),
+                            "{} {label} ({m_in},{k},{n}) round={round_f16}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_skips_zero_gather_rows_like_the_scalar_loop() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut a = random_matrix(&mut rng, 9, 6);
+        for j in 0..6 {
+            a[(2, j)] = 0.0;
+        }
+        let b = random_matrix(&mut rng, 6, 19);
+        let packed = PackedB::pack(&b);
+        let entries: Vec<(u32, u32)> = vec![(2, 0), (5, 0), (2, 3), (8, 2)];
+        let reference = fused_reference(Kernel::Scalar, &a, &b, &entries, 4, false);
+        for kernel in every_kernel() {
+            for operand in [BOperand::Dense(b.as_slice()), BOperand::Packed(&packed)] {
+                let out = run_fused(kernel, &a, operand, 19, &entries, 4, false);
+                assert_eq!(bits(&out), bits(&reference), "{}", kernel.name());
             }
         }
     }

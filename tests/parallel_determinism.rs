@@ -156,6 +156,10 @@ fn workspace_buffers_recycled_across_forward_passes() {
     let m = model(4, 7);
     let mut cfg = EnginePreset::TorchSparse.config();
     cfg.threads = Some(2);
+    // This test exercises the workspace arena itself; fused execution
+    // bypasses the gather/psum buffers entirely (see tests/fused_dataflow.rs
+    // for that property), so pin the buffered path here.
+    cfg.fused_execution = false;
     let mut engine = Engine::with_config(cfg, DeviceProfile::rtx_2080ti());
 
     engine.run(&m, &x).expect("first pass");
