@@ -1,0 +1,346 @@
+//! Multi-stream serving benchmark: Poisson arrivals through MinkUNet.
+//!
+//! Drives the fault-isolated serving runtime (`torchsparse-serve`) with
+//! deterministic Poisson arrivals at 1/8/64 concurrent streams over one
+//! shared compiled MinkUNet, reporting frames/sec and p50/p99 latency.
+//! Two stress scenarios ride along:
+//!
+//! - **overload**: offered load several times service capacity against a
+//!   small bounded queue — shedding must engage (nonzero shed counter,
+//!   queue depth bounded by its capacity) instead of latency growing
+//!   unboundedly;
+//! - **fault storm**: ~10% of frames on every stream draw an injected
+//!   worker panic or deadline overrun; no panic may escape the serving
+//!   layer, poisoned streams are quarantined and rebuilt, and every
+//!   successful frame — on faulted and non-faulted streams alike — must
+//!   stay bitwise identical to a solo single-stream replay.
+//!
+//! Writes `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin serving_throughput
+//! [--scale F] [--seed N] [--out PATH] [--quick]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use torchsparse_bench::{build_model, dataset_for, percentile, BenchArgs};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset, FaultSite, SparseTensor};
+use torchsparse_data::{geometry_static_stream, poisson_arrivals};
+use torchsparse_models::BenchmarkModel;
+use torchsparse_serve::{serve, Completion, ServiceConfig, ServiceOutcome};
+
+const JITTER: f32 = 0.02;
+
+fn bits(t: &SparseTensor) -> Vec<u32> {
+    t.feats().as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One worker thread per stream already parallelizes the service, so each
+/// stream's engine runs single-threaded — 64 streams must not spawn
+/// 64 x ncpu workers.
+fn serving_engine() -> Engine {
+    let mut config = EnginePreset::TorchSparse.config();
+    config.threads = Some(1);
+    Engine::with_config(config, DeviceProfile::rtx_2080ti())
+}
+
+struct RunStats {
+    fps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_s: f64,
+}
+
+fn latency_stats(outcome: &ServiceOutcome, wall: Duration) -> RunStats {
+    let lat_ms: Vec<f64> = outcome
+        .completions
+        .iter()
+        .filter(|c| c.result.is_ok())
+        .map(|c| c.latency.as_secs_f64() * 1e3)
+        .collect();
+    RunStats {
+        fps: outcome.health.completed as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        wall_s: wall.as_secs_f64(),
+    }
+}
+
+/// Submits every stream's frames on its Poisson schedule, merged into one
+/// global timeline. Returns how many submissions were refused (shed or
+/// rejected).
+fn drive_poisson(
+    svc: &torchsparse_serve::ServiceHandle<'_>,
+    frames: &[Vec<SparseTensor>],
+    rate_hz: f64,
+    seed: u64,
+) -> usize {
+    let mut events: Vec<(u64, usize, u64)> = Vec::new();
+    for (stream, stream_frames) in frames.iter().enumerate() {
+        let arrivals = poisson_arrivals(stream_frames.len(), rate_hz, seed + stream as u64);
+        for (frame, &at_us) in arrivals.iter().enumerate() {
+            events.push((at_us, stream, frame as u64));
+        }
+    }
+    events.sort_unstable();
+    let t0 = Instant::now();
+    let mut refused = 0usize;
+    for (at_us, stream, frame) in events {
+        let due = Duration::from_micros(at_us);
+        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let tensor = Arc::new(frames[stream][frame as usize].clone());
+        if svc.submit(stream, frame, tensor).is_err() {
+            refused += 1;
+        }
+    }
+    refused
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.01, 0);
+    let quick = args.has_flag("--quick");
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    // Injected worker panics are expected in the fault storm; keep their
+    // default backtrace spew out of the report while leaving every other
+    // panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker-panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let bm = BenchmarkModel::MinkUNetNuScenes1;
+    let ds = dataset_for(bm, args.scale);
+    let base = ds.scene(args.seed)?;
+    let model = build_model(bm, args.seed);
+
+    let session = serving_engine().compile(model.as_ref(), &base)?;
+    let (shared, mut warm) = session.into_parts();
+
+    // Calibrate the offered load from one real warm frame.
+    let warm_t0 = Instant::now();
+    shared.execute_on(&mut warm, &base)?;
+    let frame_wall = warm_t0.elapsed().max(Duration::from_micros(100));
+    let capacity_hz = 1.0 / frame_wall.as_secs_f64();
+    drop(warm);
+
+    println!(
+        "== Serving throughput: {} (scale {}, {} points, ~{:.1} ms/frame, \
+         per-stream capacity ~{:.1} Hz) ==\n",
+        bm.name(),
+        args.scale,
+        base.len(),
+        frame_wall.as_secs_f64() * 1e3,
+        capacity_hz
+    );
+
+    let stream_counts: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64] };
+    let mut json_runs = Vec::new();
+    for &streams in stream_counts {
+        let frames_per_stream = if quick {
+            2
+        } else {
+            match streams {
+                1 => 32,
+                8 => 12,
+                _ => 2,
+            }
+        };
+        // Offer ~50% of one worker's capacity per stream, scaled down when
+        // streams outnumber cores: stable queues, so p50/p99 reflect
+        // service latency rather than saturation.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let rate_hz = 0.5 * capacity_hz * (cores as f64 / streams as f64).min(1.0);
+        let frames: Vec<Vec<SparseTensor>> = (0..streams)
+            .map(|s| geometry_static_stream(&base, frames_per_stream, JITTER, args.seed + s as u64))
+            .collect::<Result<_, _>>()?;
+
+        let cfg = ServiceConfig { keep_outputs: false, ..ServiceConfig::default() };
+        let t0 = Instant::now();
+        let (_, outcome) =
+            serve(&shared, streams, &cfg, |svc| drive_poisson(svc, &frames, rate_hz, args.seed))?;
+        let wall = t0.elapsed();
+        let stats = latency_stats(&outcome, wall);
+        let h = &outcome.health;
+        println!(
+            "streams {streams:>2}: {:>3} frames in {:.2}s -> {:.1} fps | p50 {:.1} ms, \
+             p99 {:.1} ms | {h}",
+            h.completed, stats.wall_s, stats.fps, stats.p50_ms, stats.p99_ms
+        );
+        assert_eq!(h.quarantined, 0, "no faults are injected in throughput runs");
+        json_runs.push(format!(
+            "    {{\"streams\": {streams}, \"frames_per_stream\": {frames_per_stream}, \
+             \"offered_hz_per_stream\": {rate_hz:.2}, \"fps\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"wall_s\": {:.3}, \"admitted\": {}, \"completed\": {}, \
+             \"shed\": {}, \"max_queue_depth\": {}}}",
+            stats.fps,
+            stats.p50_ms,
+            stats.p99_ms,
+            stats.wall_s,
+            h.admitted,
+            h.completed,
+            h.shed,
+            h.max_queue_depth
+        ));
+    }
+
+    // Overload: several times capacity against a small bounded queue —
+    // shedding must engage instead of queues (and latency) growing
+    // without bound.
+    let ov_streams = if quick { 2 } else { 8 };
+    let ov_frames_n = if quick { 6 } else { 16 };
+    let ov_queue = 2usize;
+    let ov_rate = 4.0 * capacity_hz;
+    let ov_frames: Vec<Vec<SparseTensor>> = (0..ov_streams)
+        .map(|s| geometry_static_stream(&base, ov_frames_n, JITTER, args.seed + 100 + s as u64))
+        .collect::<Result<_, _>>()?;
+    let ov_cfg =
+        ServiceConfig { queue_capacity: ov_queue, keep_outputs: false, ..ServiceConfig::default() };
+    let t0 = Instant::now();
+    let (refused, ov) =
+        serve(&shared, ov_streams, &ov_cfg, |svc| drive_poisson(svc, &ov_frames, ov_rate, 777))?;
+    let ov_stats = latency_stats(&ov, t0.elapsed());
+    println!(
+        "\noverload ({ov_streams} streams at {:.1} Hz each, queue {ov_queue}): {} | \
+         refused {refused} | p99 {:.1} ms",
+        ov_rate, ov.health, ov_stats.p99_ms
+    );
+    assert!(
+        ov.health.shed > 0,
+        "offered load 4x capacity against queue depth {ov_queue} must shed: {}",
+        ov.health
+    );
+    assert!(
+        ov.health.max_queue_depth <= ov_queue,
+        "queue depth {} must stay within its bound {ov_queue}",
+        ov.health.max_queue_depth
+    );
+
+    // Fault storm: ~10% of frames draw an injected panic or deadline
+    // overrun. Solo replays establish the bitwise ground truth per stream.
+    let storm_streams = if quick { 2 } else { 8 };
+    let storm_frames_n = if quick { 6 } else { 12 };
+    let storm_frames: Vec<Vec<SparseTensor>> = (0..storm_streams)
+        .map(|s| geometry_static_stream(&base, storm_frames_n, JITTER, args.seed + 200 + s as u64))
+        .collect::<Result<_, _>>()?;
+    let mut solo_bits: Vec<Vec<Vec<u32>>> = Vec::with_capacity(storm_streams);
+    for stream_frames in &storm_frames {
+        let mut solo = shared.new_stream()?;
+        let mut outs = Vec::with_capacity(stream_frames.len());
+        for f in stream_frames {
+            outs.push(bits(&shared.execute_on(&mut solo, f)?));
+        }
+        solo_bits.push(outs);
+    }
+
+    // ~10% of frames faulted: 5% draw a worker panic (probed once per
+    // attempt) and 5% a deadline overrun. The overrun site is probed at
+    // every stage boundary — once per layer op — so its per-check
+    // probability is the per-frame target spread across the op count.
+    let (panic_p, overrun_frame_p) = if quick { (0.15, 0.15) } else { (0.05, 0.05) };
+    let overrun_p = overrun_frame_p / shared.num_ops().max(1) as f64;
+    let storm_cfg = ServiceConfig {
+        // The storm driver saturate-submits a whole stream up front; the
+        // queue must hold it so refusals don't masquerade as fault fallout.
+        queue_capacity: storm_frames_n,
+        faults: vec![(FaultSite::WorkerPanic, panic_p), (FaultSite::DeadlineOverrun, overrun_p)],
+        fault_seed: args.seed,
+        max_retries: 2,
+        base_backoff_us: 50,
+        keep_outputs: true,
+        ..ServiceConfig::default()
+    };
+    let (_, storm) = serve(&shared, storm_streams, &storm_cfg, |svc| {
+        // Steady 10 Hz-equivalent pacing is irrelevant here; saturate.
+        for (stream, stream_frames) in storm_frames.iter().enumerate() {
+            for (frame, f) in stream_frames.iter().enumerate() {
+                let _ = svc.submit(stream, frame as u64, Arc::new(f.clone()));
+            }
+        }
+    })?;
+    let h = &storm.health;
+    println!("\nfault storm ({storm_streams} streams, 10% injected): {h}");
+    assert!(h.quarantined > 0, "the storm seed must inject at least one panic: {h}");
+    assert_eq!(h.quarantined, h.rebuilt, "every quarantined stream must be rebuilt");
+    let mut checked = 0usize;
+    for c in &storm.completions {
+        if let Ok(Some(out)) = &c.result {
+            assert_eq!(
+                bits(out),
+                solo_bits[c.stream][c.frame as usize],
+                "stream {} frame {}: serving output must be bitwise identical to solo",
+                c.stream,
+                c.frame
+            );
+            checked += 1;
+        }
+    }
+    let faulted: Vec<usize> =
+        h.streams.iter().filter(|s| !s.degradation.is_empty()).map(|s| s.stream).collect();
+    let clean_streams = storm_streams - faulted.len();
+    let clean_complete = h
+        .streams
+        .iter()
+        .filter(|s| s.degradation.is_empty())
+        .all(|s| s.completed == storm_frames_n as u64);
+    println!(
+        "bitwise-checked {checked} successful frames ({clean_streams}/{storm_streams} streams \
+         untouched by faults; faulted: {faulted:?})"
+    );
+    assert!(checked > 0, "the storm must still complete frames");
+    assert!(clean_complete, "non-faulted streams must complete every frame: {h}");
+    if !quick {
+        assert!(
+            clean_streams >= 1,
+            "at 5%/site over {storm_streams} streams, at least one stream must stay fault-free"
+        );
+    }
+
+    let retried_frames = storm.completions.iter().filter(|c: &&Completion| c.attempts > 1).count();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", bm.name()));
+    json.push_str(&format!("  \"scale\": {},\n", args.scale));
+    json.push_str(&format!("  \"points\": {},\n", base.len()));
+    json.push_str(&format!("  \"frame_wall_ms\": {:.3},\n", frame_wall.as_secs_f64() * 1e3));
+    json.push_str("  \"throughput\": [\n");
+    json.push_str(&json_runs.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"overload\": {{\"streams\": {ov_streams}, \"queue_capacity\": {ov_queue}, \
+         \"offered_hz_per_stream\": {ov_rate:.2}, \"admitted\": {}, \"shed\": {}, \
+         \"completed\": {}, \"max_queue_depth\": {}, \"p99_ms\": {:.3}}},\n",
+        ov.health.admitted,
+        ov.health.shed,
+        ov.health.completed,
+        ov.health.max_queue_depth,
+        ov_stats.p99_ms
+    ));
+    json.push_str(&format!(
+        "  \"fault_storm\": {{\"streams\": {storm_streams}, \"frames_per_stream\": \
+         {storm_frames_n}, \"panic_probability_per_frame\": {panic_p}, \"overrun_probability_per_frame\": \
+         {overrun_frame_p}, \"quarantined\": {}, \
+         \"rebuilt\": {}, \"deadline_missed\": {}, \"retried_attempts\": {}, \
+         \"retried_frames\": {retried_frames}, \"completed\": {}, \"failed\": {}, \
+         \"bitwise_checked_frames\": {checked}, \"clean_streams\": {clean_streams}, \
+         \"bitwise_identical_to_solo\": true}}\n",
+        h.quarantined, h.rebuilt, h.deadline_missed, h.retried, h.completed, h.failed
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}

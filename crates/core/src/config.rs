@@ -155,18 +155,35 @@ pub struct OptimizationConfig {
 /// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
 /// (`off`/`0`/`false` forces the unfused buffers, `on`/`1`/`true` forces
 /// fusion) wins over `config.fused_execution`. The variable is read once
-/// per process.
+/// per process; a set-but-unrecognized value emits a one-time warning and
+/// defers to the configuration instead of being silently ignored.
 pub fn fused_enabled(config: &OptimizationConfig) -> bool {
     static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
     let forced = OVERRIDE.get_or_init(|| {
         let raw = std::env::var("TORCHSPARSE_FUSED").ok()?;
-        match raw.to_ascii_lowercase().as_str() {
-            "off" | "0" | "false" => Some(false),
-            "on" | "1" | "true" => Some(true),
-            _ => None,
+        match parse_fused_override(&raw) {
+            Ok(forced) => Some(forced),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_FUSED", &warning);
+                None
+            }
         }
     });
     forced.unwrap_or(config.fused_execution)
+}
+
+/// Strictly parses a `TORCHSPARSE_FUSED` value; factored out of
+/// [`fused_enabled`] so the policy is testable without touching process
+/// state. Unrecognized values return the warning message to emit.
+fn parse_fused_override(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(false),
+        "on" | "1" | "true" => Ok(true),
+        _ => Err(format!(
+            "TORCHSPARSE_FUSED={raw:?} is not one of on/off/1/0/true/false; \
+             falling back to the engine configuration's fused_execution flag"
+        )),
+    }
 }
 
 impl OptimizationConfig {
@@ -342,6 +359,18 @@ mod tests {
                 "{}: fused execution is bitwise-neutral and defaults on",
                 preset.name()
             );
+        }
+    }
+
+    #[test]
+    fn fused_override_parses_strictly() {
+        for (raw, expect) in [("off", false), ("0", false), ("FALSE", false), (" on ", true)] {
+            assert_eq!(parse_fused_override(raw), Ok(expect), "{raw:?}");
+        }
+        for bad in ["abc", "2", "", "yes"] {
+            let w = parse_fused_override(bad).expect_err("malformed value must warn");
+            assert!(w.contains("TORCHSPARSE_FUSED"), "warning must name the variable: {w}");
+            assert!(w.contains("fused_execution"), "warning must name the fallback: {w}");
         }
     }
 

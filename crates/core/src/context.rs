@@ -37,6 +37,41 @@ pub struct CachedMap {
     pub coarse_coords: Vec<Coord>,
 }
 
+/// A per-request wall-clock deadline, checked at stage boundaries by the
+/// compiled execution path ([`Context::check_deadline`]).
+///
+/// The serving runtime installs one on [`Context::deadline`] before each
+/// frame; planning and the feature path then surface expiry as a typed
+/// [`CoreError::DeadlineExceeded`] at the next boundary instead of running
+/// the stream to completion past its budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    started: std::time::Instant,
+    budget: std::time::Duration,
+}
+
+impl Deadline {
+    /// A deadline of `budget` starting at the moment of the call.
+    pub fn starting_now(budget: std::time::Duration) -> Deadline {
+        Deadline { started: std::time::Instant::now(), budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> std::time::Duration {
+        self.budget
+    }
+
+    /// Wall-clock time consumed so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether the budget has been consumed.
+    pub fn expired(&self) -> bool {
+        self.elapsed() > self.budget
+    }
+}
+
 /// Per-layer workload record captured during a profiling run, consumed by
 /// the adaptive-grouping tuner (Algorithm 5).
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +141,11 @@ pub struct Context {
     /// buffers. Survives [`Context::begin_run`] so buffers are reused
     /// across forward passes, not just across layers.
     pub runtime: crate::runtime::Runtime,
+    /// The active per-request deadline, if any. Caller-managed like
+    /// [`Context::faults`]: survives [`Context::begin_run`] so the serving
+    /// layer can install it before executing a frame; cleared by setting it
+    /// back to `None`.
+    pub deadline: Option<Deadline>,
 }
 
 /// One leaf layer's contribution to a run, captured by the layer profiler.
@@ -148,6 +188,7 @@ impl Context {
             faults: crate::faults::FaultInjector::disarmed(),
             degradation: crate::faults::DegradationReport::new(),
             grouping_fallback: false,
+            deadline: None,
             config,
             device,
         }
@@ -211,6 +252,35 @@ impl Context {
     pub fn charge_host_op(&mut self) {
         self.timeline
             .add(torchsparse_gpusim::Stage::Other, torchsparse_gpusim::Micros(HOST_OP_OVERHEAD_US));
+    }
+
+    /// Checks the request deadline at a named stage boundary (`"mapping"`
+    /// in the planning walk, `"gather-gemm-scatter"` / `"epilogue"` in the
+    /// compiled feature path). The [`FaultSite::DeadlineOverrun`]
+    /// (crate::FaultSite::DeadlineOverrun) site is probed first: an
+    /// injected stall reports the full budget as elapsed, which keeps
+    /// deadline tests deterministic with no wall-clock dependence.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeadlineExceeded`] naming the stage, budget, and
+    /// elapsed time.
+    pub fn check_deadline(&mut self, stage: &'static str) -> Result<(), CoreError> {
+        if self.faults.should_fail(crate::faults::FaultSite::DeadlineOverrun) {
+            let budget_us = self.deadline.map_or(0, |d| d.budget().as_micros() as u64);
+            self.degradation.record(crate::faults::FaultSite::DeadlineOverrun, "injected");
+            return Err(CoreError::DeadlineExceeded { stage, budget_us, elapsed_us: budget_us });
+        }
+        if let Some(d) = self.deadline {
+            if d.expired() {
+                return Err(CoreError::DeadlineExceeded {
+                    stage,
+                    budget_us: d.budget().as_micros() as u64,
+                    elapsed_us: d.elapsed().as_micros() as u64,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Fails if the context's configuration cannot run: zero-sized thread
@@ -314,6 +384,45 @@ mod tests {
     #[test]
     fn debug_impl_nonempty() {
         assert!(!format!("{:?}", ctx()).is_empty());
+    }
+
+    #[test]
+    fn deadline_checks_at_stage_boundaries() {
+        let mut c = ctx();
+        // No deadline installed: every check passes.
+        assert!(c.check_deadline("mapping").is_ok());
+        // An already-expired budget fails at the next boundary with the
+        // stage name attached.
+        c.deadline = Some(Deadline::starting_now(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let err = c.check_deadline("gather-gemm-scatter").unwrap_err();
+        match err {
+            CoreError::DeadlineExceeded { stage, budget_us, elapsed_us } => {
+                assert_eq!(stage, "gather-gemm-scatter");
+                assert_eq!(budget_us, 0);
+                assert!(elapsed_us >= budget_us);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A generous budget passes.
+        c.deadline = Some(Deadline::starting_now(std::time::Duration::from_secs(3600)));
+        assert!(c.check_deadline("epilogue").is_ok());
+        // Deadlines survive begin_run (caller-managed, like faults).
+        c.begin_run();
+        assert!(c.deadline.is_some());
+    }
+
+    #[test]
+    fn injected_overrun_fails_deterministically() {
+        use crate::faults::FaultSite;
+        let mut c = ctx();
+        c.faults.arm(FaultSite::DeadlineOverrun);
+        // Fires even with no wall-clock deadline installed.
+        let err = c.check_deadline("mapping").unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded { stage: "mapping", .. }));
+        assert_eq!(c.degradation.count(FaultSite::DeadlineOverrun), 1);
+        // Armed count consumed: the next check passes.
+        assert!(c.check_deadline("mapping").is_ok());
     }
 
     #[test]

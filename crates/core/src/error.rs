@@ -81,6 +81,21 @@ pub enum CoreError {
         /// What desynchronized.
         reason: &'static str,
     },
+    /// A per-request deadline budget expired at a stage boundary (or an
+    /// injected `deadline-overrun` stall fired there). The serving runtime
+    /// classifies this as transient: the frame may be retried, and the
+    /// stream itself stays healthy.
+    DeadlineExceeded {
+        /// The stage boundary where the expiry was detected: `"mapping"`,
+        /// `"gather-gemm-scatter"`, or `"epilogue"`.
+        stage: &'static str,
+        /// The configured budget, microseconds (0 when no budget was set
+        /// and the error came purely from an injected overrun).
+        budget_us: u64,
+        /// Wall-clock elapsed when detected, microseconds. Equals
+        /// `budget_us` for injected overruns.
+        elapsed_us: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -119,6 +134,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::PlanMismatch { reason } => {
                 write!(f, "compiled plan out of sync with traced ops: {reason}")
+            }
+            CoreError::DeadlineExceeded { stage, budget_us, elapsed_us } => {
+                write!(f, "deadline of {budget_us}us exceeded at {stage} boundary ({elapsed_us}us elapsed)")
             }
         }
     }
@@ -166,6 +184,7 @@ mod tests {
             CoreError::Untraceable { module: "centerpoint".to_owned() },
             CoreError::InvalidConfig { reason: "zero threads".to_owned() },
             CoreError::PlanMismatch { reason: "op/step count differs" },
+            CoreError::DeadlineExceeded { stage: "mapping", budget_us: 1_000, elapsed_us: 1_500 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -51,6 +51,18 @@ pub enum FaultSite {
     /// never probes this site; it exists so sanitization decisions show up
     /// in the same [`DegradationReport`] as runtime fallbacks.
     InputValidation,
+    /// Serving-path site: a request-scoped panic inside a stream worker.
+    /// Fallback (in `torchsparse-serve`): the per-request `catch_unwind`
+    /// boundary contains the panic, the stream is quarantined, and the
+    /// supervisor rebuilds its state from the shared compiled plan while
+    /// other streams keep serving.
+    WorkerPanic,
+    /// Serving-path site: an injected stall that makes the next
+    /// stage-boundary deadline check report expiry. Fallback: the frame
+    /// fails with a typed [`CoreError::DeadlineExceeded`]
+    /// (crate::CoreError::DeadlineExceeded) — transient, so the serving
+    /// retry policy may re-run it; the stream itself stays healthy.
+    DeadlineOverrun,
 }
 
 impl FaultSite {
@@ -65,6 +77,27 @@ impl FaultSite {
             FaultSite::GroupTuning,
         ]
     }
+
+    /// The serving-path sites probed by `torchsparse-serve` around each
+    /// request, in declaration order. Separate from [`FaultSite::all`]
+    /// because the single-forward engine never probes them.
+    pub fn serving() -> [FaultSite; 2] {
+        [FaultSite::WorkerPanic, FaultSite::DeadlineOverrun]
+    }
+
+    /// Retry taxonomy for the serving runtime: `true` when the documented
+    /// fallback makes re-running the same frame worthwhile (cache
+    /// invalidation, precision overflow re-run, an injected stall that
+    /// passes on retry); `false` when the same input deterministically
+    /// fails again (validation rejects, oversized extents, tuning
+    /// failures) or the failure already poisoned the stream (worker
+    /// panic — handled by quarantine, not retry).
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            FaultSite::KernelMapCache | FaultSite::Fp16Overflow | FaultSite::DeadlineOverrun
+        )
+    }
 }
 
 impl fmt::Display for FaultSite {
@@ -76,6 +109,8 @@ impl fmt::Display for FaultSite {
             FaultSite::ResourceBudget => "resource-budget",
             FaultSite::GroupTuning => "group-tuning",
             FaultSite::InputValidation => "input-validation",
+            FaultSite::WorkerPanic => "worker-panic",
+            FaultSite::DeadlineOverrun => "deadline-overrun",
         };
         f.write_str(name)
     }
@@ -257,6 +292,35 @@ impl DegradationReport {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Adds every event of `other` into this report, merging by
+    /// `(site, cause)` — used to roll per-request reports up into a
+    /// per-stream or service-wide window.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        for e in &other.events {
+            if let Some(own) =
+                self.events.iter_mut().find(|own| own.site == e.site && own.cause == e.cause)
+            {
+                own.count += e.count;
+            } else {
+                self.events.push(e.clone());
+            }
+        }
+    }
+
+    /// Takes the events accumulated since the previous snapshot (or since
+    /// construction), leaving the live report empty. Long-running streams
+    /// report per-window *deltas* this way instead of process-lifetime
+    /// monotonic counters; the service `HealthReport` consumes these.
+    pub fn snapshot(&mut self) -> DegradationReport {
+        std::mem::take(self)
+    }
+
+    /// Starts a fresh window, discarding accumulated events (equivalent to
+    /// dropping the result of [`DegradationReport::snapshot`]).
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
 }
 
 impl fmt::Display for DegradationReport {
@@ -343,6 +407,63 @@ mod tests {
         let shown = r.to_string();
         assert!(shown.contains("grid-table-build x2"), "{shown}");
         r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn serving_sites_follow_naming_conventions() {
+        assert_eq!(FaultSite::WorkerPanic.to_string(), "worker-panic");
+        assert_eq!(FaultSite::DeadlineOverrun.to_string(), "deadline-overrun");
+        // Serving sites are probed/armed exactly like engine sites.
+        let mut inj = FaultInjector::disarmed();
+        inj.arm(FaultSite::WorkerPanic);
+        assert!(inj.should_fail(FaultSite::WorkerPanic));
+        assert!(!inj.should_fail(FaultSite::WorkerPanic));
+        // ...but stay out of the engine-probed list.
+        assert!(!FaultSite::all().contains(&FaultSite::WorkerPanic));
+        assert!(!FaultSite::all().contains(&FaultSite::DeadlineOverrun));
+        assert_eq!(FaultSite::serving(), [FaultSite::WorkerPanic, FaultSite::DeadlineOverrun]);
+    }
+
+    #[test]
+    fn retry_taxonomy_classifies_sites() {
+        assert!(FaultSite::KernelMapCache.is_transient());
+        assert!(FaultSite::Fp16Overflow.is_transient());
+        assert!(FaultSite::DeadlineOverrun.is_transient());
+        assert!(!FaultSite::ResourceBudget.is_transient());
+        assert!(!FaultSite::InputValidation.is_transient());
+        assert!(!FaultSite::GridTableBuild.is_transient());
+        assert!(!FaultSite::GroupTuning.is_transient());
+        assert!(!FaultSite::WorkerPanic.is_transient());
+    }
+
+    #[test]
+    fn merge_combines_by_site_and_cause() {
+        let mut a = DegradationReport::new();
+        a.record(FaultSite::Fp16Overflow, "non-finite output");
+        let mut b = DegradationReport::new();
+        b.record(FaultSite::Fp16Overflow, "non-finite output");
+        b.record(FaultSite::KernelMapCache, "invalidated");
+        a.merge(&b);
+        assert_eq!(a.count(FaultSite::Fp16Overflow), 2);
+        assert_eq!(a.count(FaultSite::KernelMapCache), 1);
+        assert_eq!(a.events().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_returns_window_delta_and_resets() {
+        let mut r = DegradationReport::new();
+        r.record(FaultSite::GridTableBuild, "injected");
+        let window = r.snapshot();
+        assert_eq!(window.count(FaultSite::GridTableBuild), 1);
+        assert!(r.is_empty(), "snapshot must start a fresh window");
+        // The next window only sees new events.
+        r.record(FaultSite::Fp16Overflow, "non-finite output");
+        let window2 = r.snapshot();
+        assert_eq!(window2.count(FaultSite::GridTableBuild), 0);
+        assert_eq!(window2.count(FaultSite::Fp16Overflow), 1);
+        r.record(FaultSite::GroupTuning, "injected");
+        r.reset();
         assert!(r.is_empty());
     }
 

@@ -65,7 +65,7 @@ pub use config::{
     fused_enabled, EnginePreset, GroupingStrategy, MapSearchStrategy, OptimizationConfig,
     Precision, SimdPolicy,
 };
-pub use context::{Context, LayerProfile, LayerWorkload, MapKey};
+pub use context::{Context, Deadline, LayerProfile, LayerWorkload, MapKey};
 pub use conv::SparseConv3d;
 pub use engine::Engine;
 pub use error::CoreError;
@@ -75,7 +75,7 @@ pub use plan::{geometry_fingerprint, ExecutionPlan, LayerOp, PlanCacheStats, Tra
 pub use pointwise::{BatchNorm, GlobalPool, ReLU};
 pub use pooling::{PoolReduction, SparseMaxPool3d};
 pub use runtime::{Runtime, ThreadPool, WorkspacePool};
-pub use session::CompiledSession;
+pub use session::{CompiledModel, CompiledSession, StreamState};
 pub use sparse_tensor::SparseTensor;
 pub use validate::{ValidationConfig, ValidationPolicy};
 

@@ -16,7 +16,16 @@
 //! microkernel's panel-major packed layout (shared with the layer's lazy
 //! pack cache), so steady-state frames stream pre-packed GEMM panels and
 //! never touch row-major weights.
+//!
+//! For multi-stream serving the session splits along the share/own line:
+//! [`CompiledModel`] is the frozen, `Sync` half (traced ops + compile-time
+//! plan behind `Arc`) that N streams execute against concurrently, while
+//! [`StreamState`] is one stream's private half (engine context with its
+//! workspace arena and degradation report, plus that stream's plan slot
+//! and cache stats). [`CompiledSession`] remains the single-stream
+//! composition of the two; [`CompiledSession::into_parts`] opens it up.
 
+use crate::config::OptimizationConfig;
 use crate::context::Context;
 use crate::engine::Engine;
 use crate::faults::DegradationReport;
@@ -25,8 +34,9 @@ use crate::plan::{
     geometry_fingerprint, ConvPlan, ExecutionPlan, LayerOp, PlanCacheStats, StepPlan, Tracer,
 };
 use crate::{CoreError, SparseTensor};
+use std::sync::Arc;
 use torchsparse_coords::Coord;
-use torchsparse_gpusim::{Micros, Timeline};
+use torchsparse_gpusim::{DeviceProfile, Micros, Timeline};
 
 /// The geometry cursor threaded through planning: what the tensor flowing
 /// through the network looks like after each op, without any features.
@@ -67,12 +77,207 @@ struct Geometry {
 /// # }
 /// ```
 pub struct CompiledSession<'m> {
-    engine: Engine,
+    shared: CompiledModel<'m>,
+    stream: StreamState,
+}
+
+/// The shared, immutable half of a compiled model: the traced op sequence
+/// plus the plan frozen at compile time, behind [`Arc`].
+///
+/// `CompiledModel` is `Sync` — it holds no interior mutability beyond the
+/// layers' `OnceLock` pack caches — so N serving streams execute against
+/// one instance concurrently, each bringing its own [`StreamState`]. A
+/// stream whose frame geometry matches the compile-time fingerprint
+/// re-attaches to the shared plan without rebuilding; a stream with
+/// different geometry re-plans into its *own* slot, never touching the
+/// shared base plan or any other stream.
+pub struct CompiledModel<'m> {
     ops: Vec<LayerOp<'m>>,
-    plan: ExecutionPlan,
+    base_plan: Arc<ExecutionPlan>,
+    config: OptimizationConfig,
+    device: DeviceProfile,
+}
+
+/// One stream's private execution state: its engine (context with the
+/// workspace arena, fault injector, and degradation report), its plan
+/// slot, and its plan-cache counters.
+///
+/// Created by [`CompiledModel::new_stream`] — and rebuilt the same way
+/// when a serving supervisor quarantines a poisoned stream: the state is
+/// discarded wholesale and reconstructed from the shared plan, so nothing
+/// a panicking request touched survives into the next frame.
+pub struct StreamState {
+    engine: Engine,
+    plan: Option<Arc<ExecutionPlan>>,
     stats: PlanCacheStats,
     planning: Timeline,
     planning_degradation: DegradationReport,
+}
+
+impl<'m> CompiledModel<'m> {
+    /// Creates a fresh stream against this model: a new engine with the
+    /// model's configuration and device, its plan slot pre-attached to the
+    /// shared compile-time plan.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the stored configuration fails
+    /// [`Context::validate`] (cannot happen for configurations that came
+    /// through [`Engine::compile`], which validated at construction).
+    pub fn new_stream(&self) -> Result<StreamState, CoreError> {
+        let engine = Engine::try_with_config(self.config.clone(), self.device.clone())?;
+        Ok(StreamState {
+            engine,
+            plan: Some(self.base_plan.clone()),
+            stats: PlanCacheStats::default(),
+            planning: Timeline::new(),
+            planning_degradation: DegradationReport::new(),
+        })
+    }
+
+    /// Runs one frame of `stream` through this model: only feature-path
+    /// work executes when the frame's geometry fingerprint matches the
+    /// stream's plan slot. On a mismatch the stream first re-attaches to
+    /// the shared compile-time plan (if the fingerprint matches it) or
+    /// re-plans into its own slot — other streams' slots and the shared
+    /// plan are never written.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures, [`CoreError::DeadlineExceeded`] when the
+    /// context's deadline expires at a stage boundary, plus any
+    /// [`CoreError`] from the layers.
+    pub fn execute_on(
+        &self,
+        stream: &mut StreamState,
+        input: &SparseTensor,
+    ) -> Result<SparseTensor, CoreError> {
+        let ctx = stream.engine.context_mut();
+        ctx.begin_run();
+        let sanitized = {
+            let Context { config, faults, degradation, .. } = ctx;
+            crate::validate::validate_input(input, &config.validation, faults, degradation)?
+        };
+        let tensor = sanitized.as_ref().unwrap_or(input);
+        let fingerprint = geometry_fingerprint(tensor.coords(), tensor.stride());
+        let slot_matches = stream.plan.as_ref().is_some_and(|p| p.fingerprint == fingerprint);
+        if slot_matches {
+            stream.stats.hits += 1;
+        } else {
+            if stream.plan.is_some() {
+                stream.stats.invalidations += 1;
+            }
+            if self.base_plan.fingerprint == fingerprint {
+                // The geometry returned to the compile-time plan: re-attach
+                // to the shared Arc instead of rebuilding. Counted as a hit
+                // (misses counts plan *builds*).
+                stream.stats.hits += 1;
+                stream.plan = Some(self.base_plan.clone());
+            } else {
+                // Geometry changed: rebuild the whole plan into this
+                // stream's slot. The re-plan cost lands in this frame's
+                // timeline, exactly like a dynamic run.
+                stream.stats.misses += 1;
+                let plan = build_plan(&self.ops, tensor, fingerprint, ctx)?;
+                stream.planning = ctx.timeline.clone();
+                stream.planning_degradation = ctx.degradation.clone();
+                stream.plan = Some(Arc::new(plan));
+            }
+        }
+        let plan = match &stream.plan {
+            Some(p) => p.clone(),
+            None => self.base_plan.clone(),
+        };
+        run_steps(&self.ops, &plan, tensor, stream.engine.context_mut())
+    }
+
+    /// The plan frozen at compile time, shared by every stream whose
+    /// geometry matches it.
+    pub fn base_plan(&self) -> &Arc<ExecutionPlan> {
+        &self.base_plan
+    }
+
+    /// Number of traced layer ops.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The optimization configuration new streams are built with.
+    pub fn config(&self) -> &OptimizationConfig {
+        &self.config
+    }
+
+    /// The device profile new streams are built with.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+}
+
+impl std::fmt::Debug for CompiledModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("ops", &self.ops.len())
+            .field("fingerprint", &self.base_plan.fingerprint)
+            .finish()
+    }
+}
+
+impl StreamState {
+    /// The stream's engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (e.g. to arm faults or install a deadline
+    /// between frames).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Plan-reuse counters for this stream.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// The plan currently in this stream's slot, if any.
+    pub fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_deref()
+    }
+
+    /// Per-stage cost of this stream's most recent private re-plan (zero
+    /// while the stream still rides the shared compile-time plan).
+    pub fn planning_timeline(&self) -> &Timeline {
+        &self.planning
+    }
+
+    /// Degradation decisions of this stream's most recent private re-plan.
+    pub fn planning_degradation(&self) -> &DegradationReport {
+        &self.planning_degradation
+    }
+
+    /// Per-stage latency of the stream's last executed frame.
+    pub fn last_timeline(&self) -> &Timeline {
+        self.engine.last_timeline()
+    }
+
+    /// Total simulated latency of the stream's last executed frame.
+    pub fn last_latency(&self) -> Micros {
+        self.engine.last_latency()
+    }
+
+    /// Degradation decisions of the stream's last executed frame.
+    pub fn degradation_report(&self) -> &DegradationReport {
+        self.engine.degradation_report()
+    }
+}
+
+impl std::fmt::Debug for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamState")
+            .field("fingerprint", &self.plan.as_ref().map(|p| p.fingerprint))
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl<'m> CompiledSession<'m> {
@@ -103,14 +308,19 @@ impl<'m> CompiledSession<'m> {
         let plan = build_plan(&ops, tensor, fingerprint, ctx)?;
         let planning = ctx.timeline.clone();
         let planning_degradation = ctx.degradation.clone();
+        let config = ctx.config.clone();
+        let device = ctx.device.clone();
 
+        let base_plan = Arc::new(plan);
         Ok(CompiledSession {
-            engine,
-            ops,
-            plan,
-            stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
-            planning,
-            planning_degradation,
+            shared: CompiledModel { ops, base_plan: base_plan.clone(), config, device },
+            stream: StreamState {
+                engine,
+                plan: Some(base_plan),
+                stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+                planning,
+                planning_degradation,
+            },
         })
     }
 
@@ -126,88 +336,84 @@ impl<'m> CompiledSession<'m> {
     ///
     /// Validation failures, plus any [`CoreError`] from the layers.
     pub fn execute(&mut self, input: &SparseTensor) -> Result<SparseTensor, CoreError> {
-        let ctx = self.engine.context_mut();
-        ctx.begin_run();
-        let sanitized = {
-            let Context { config, faults, degradation, .. } = ctx;
-            crate::validate::validate_input(input, &config.validation, faults, degradation)?
-        };
-        let tensor = sanitized.as_ref().unwrap_or(input);
-        let fingerprint = geometry_fingerprint(tensor.coords(), tensor.stride());
-        if fingerprint == self.plan.fingerprint {
-            self.stats.hits += 1;
-        } else {
-            // Geometry changed: rebuild the whole plan. The re-plan cost
-            // lands in this frame's timeline, exactly like a dynamic run.
-            self.stats.invalidations += 1;
-            self.stats.misses += 1;
-            self.plan = build_plan(&self.ops, tensor, fingerprint, ctx)?;
-            self.planning = ctx.timeline.clone();
-            self.planning_degradation = ctx.degradation.clone();
-        }
-        run_steps(&self.ops, &self.plan, tensor, self.engine.context_mut())
+        self.shared.execute_on(&mut self.stream, input)
+    }
+
+    /// Splits the session into its shared and per-stream halves — the
+    /// entry point for multi-stream serving: share the [`CompiledModel`],
+    /// then [`CompiledModel::new_stream`] once per additional stream.
+    pub fn into_parts(self) -> (CompiledModel<'m>, StreamState) {
+        (self.shared, self.stream)
+    }
+
+    /// The shared half: traced ops plus the compile-time plan.
+    pub fn model(&self) -> &CompiledModel<'m> {
+        &self.shared
     }
 
     /// The underlying engine.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.stream.engine()
     }
 
     /// Mutable engine access (e.g. to arm faults between frames).
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        self.stream.engine_mut()
     }
 
     /// Plan-reuse counters.
     pub fn stats(&self) -> PlanCacheStats {
-        self.stats
+        self.stream.stats()
     }
 
     /// The frozen execution plan currently in force.
     pub fn plan(&self) -> &ExecutionPlan {
-        &self.plan
+        match self.stream.plan() {
+            Some(p) => p,
+            None => &self.shared.base_plan,
+        }
     }
 
     /// Number of traced layer ops.
     pub fn num_ops(&self) -> usize {
-        self.ops.len()
+        self.shared.num_ops()
     }
 
     /// Per-stage cost of the most recent planning pass (the compile, or the
     /// last re-plan). This is the work [`CompiledSession::execute`] no
     /// longer pays on plan hits.
     pub fn planning_timeline(&self) -> &Timeline {
-        &self.planning
+        self.stream.planning_timeline()
     }
 
     /// Degradation decisions taken during the most recent planning pass
     /// (e.g. an injected grid-table fault degrading the mapping strategy).
     pub fn planning_degradation(&self) -> &DegradationReport {
-        &self.planning_degradation
+        self.stream.planning_degradation()
     }
 
     /// Per-stage latency of the last [`CompiledSession::execute`].
     pub fn last_timeline(&self) -> &Timeline {
-        self.engine.last_timeline()
+        self.stream.last_timeline()
     }
 
     /// Total simulated latency of the last [`CompiledSession::execute`].
     pub fn last_latency(&self) -> Micros {
-        self.engine.last_latency()
+        self.stream.last_latency()
     }
 
     /// Degradation decisions of the last [`CompiledSession::execute`].
     pub fn degradation_report(&self) -> &DegradationReport {
-        self.engine.degradation_report()
+        self.stream.degradation_report()
     }
 }
 
 impl std::fmt::Debug for CompiledSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompiledSession")
-            .field("ops", &self.ops.len())
-            .field("fingerprint", &self.plan.fingerprint)
-            .field("stats", &self.stats)
+            .field("ops", &self.shared.ops.len())
+            .field("fingerprint", &self.plan().fingerprint)
+            .field("stats", &self.stream.stats)
             .finish()
     }
 }
@@ -229,6 +435,7 @@ fn build_plan(
     let mut stack: Vec<Geometry> = Vec::new();
     let mut steps = Vec::with_capacity(ops.len());
     for op in ops {
+        ctx.check_deadline("mapping")?;
         let step = match op {
             LayerOp::Conv(conv) => {
                 let p = conv.plan(&cur.coords, cur.stride, cur.channels, ctx)?;
@@ -314,6 +521,17 @@ fn run_steps(
     let mut cur: Option<SparseTensor> = None;
     let mut stack: Vec<SparseTensor> = Vec::new();
     for (op, step) in ops.iter().zip(&plan.steps) {
+        // Deadline boundary: the gather-GEMM-scatter stage covers
+        // convolution steps (including residual projections); everything
+        // else — pointwise sweeps, pooling, concat/residual joins — is
+        // epilogue work.
+        let stage = match op {
+            LayerOp::Conv(_) | LayerOp::ResidualAdd { projection: Some(_) } => {
+                "gather-gemm-scatter"
+            }
+            _ => "epilogue",
+        };
+        ctx.check_deadline(stage)?;
         let x = match &cur {
             Some(t) => t,
             None => input,
@@ -491,6 +709,84 @@ mod tests {
         assert_eq!(session.num_ops(), 0);
         let y = session.execute(&x).unwrap();
         assert_eq!(y, x);
+    }
+
+    #[test]
+    fn shared_halves_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionPlan>();
+        assert_send_sync::<CompiledModel<'static>>();
+        // StreamState moves into per-stream worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamState>();
+    }
+
+    #[test]
+    fn new_streams_match_session_bitwise() {
+        let m = model();
+        let x = scene(0);
+        let mut session = engine().compile(&m, &x).unwrap();
+        let expected = session.execute(&x).unwrap();
+        let (shared, _original) = session.into_parts();
+        let mut stream = shared.new_stream().unwrap();
+        let got = shared.execute_on(&mut stream, &x).unwrap();
+        let a: Vec<u32> = expected.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = got.feats().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "a fresh stream must reproduce the session bitwise");
+        // The fresh stream rode the shared plan: a hit, no build.
+        assert_eq!(stream.stats(), PlanCacheStats { hits: 1, misses: 0, invalidations: 0 });
+    }
+
+    #[test]
+    fn stream_plan_slots_are_independent() {
+        let m = model();
+        let a = scene(0);
+        let b = scene(3);
+        let session = engine().compile(&m, &a).unwrap();
+        let (shared, mut s1) = session.into_parts();
+        let mut s2 = shared.new_stream().unwrap();
+
+        // Stream 2 re-plans for its own geometry...
+        let base_fp = shared.base_plan().fingerprint;
+        shared.execute_on(&mut s2, &b).unwrap();
+        let s2_fp = s2.plan().map(|p| p.fingerprint);
+        assert_ne!(s2_fp, Some(base_fp), "stream 2 must have re-planned");
+
+        // ...without touching stream 1's slot or the shared base plan.
+        assert_eq!(s1.plan().map(|p| p.fingerprint), Some(base_fp));
+        assert_eq!(shared.base_plan().fingerprint, base_fp);
+        shared.execute_on(&mut s1, &a).unwrap();
+        // misses:1 is the compile-time build this stream inherited.
+        assert_eq!(s1.stats(), PlanCacheStats { hits: 1, misses: 1, invalidations: 0 });
+
+        // Interleaving keeps each stream on its own plan: stream 2's next
+        // frame of geometry b is a hit, not a rebuild.
+        shared.execute_on(&mut s2, &b).unwrap();
+        assert_eq!(s2.stats(), PlanCacheStats { hits: 1, misses: 1, invalidations: 1 });
+
+        // Returning to the compile-time geometry re-attaches to the shared
+        // plan without a rebuild (hit + invalidation, no miss).
+        shared.execute_on(&mut s2, &a).unwrap();
+        assert_eq!(s2.stats(), PlanCacheStats { hits: 2, misses: 1, invalidations: 2 });
+        assert_eq!(s2.plan().map(|p| p.fingerprint), Some(base_fp));
+    }
+
+    #[test]
+    fn injected_deadline_overrun_fails_execute_with_typed_error() {
+        use crate::faults::FaultSite;
+        let m = model();
+        let x = scene(0);
+        let mut session = engine().compile(&m, &x).unwrap();
+        session.execute(&x).unwrap();
+        session.engine_mut().context_mut().faults.arm(FaultSite::DeadlineOverrun);
+        let err = session.execute(&x).unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {err:?}"
+        );
+        // The stream is not poisoned: the next frame succeeds and matches.
+        let y = session.execute(&x).unwrap();
+        assert_eq!(y.channels(), 4);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   [`SparseTensor`], deduplicating points per voxel.
 //! - [`aggregate_frames`]: multi-frame fusion with ego motion (the 1/3/10
 //!   frame settings of the paper's nuScenes and Waymo benchmarks).
+//! - [`poisson_arrivals`]: deterministic Poisson arrival schedules for
+//!   multi-stream serving benchmarks.
 //! - [`geometry_static_stream`]: replayed frame streams with identical
 //!   coordinates and jittered features, the steady-state workload for
 //!   compiled inference sessions.
@@ -36,7 +38,7 @@ mod voxelize;
 pub use batch::collate;
 pub use lidar::{LidarConfig, PointCloud};
 pub use multiframe::aggregate_frames;
-pub use stream::geometry_static_stream;
+pub use stream::{geometry_static_stream, poisson_arrivals};
 pub use voxelize::{voxelize_scan, Voxelizer};
 
 /// A ready-made (generator, voxelizer) pair representing one benchmark

@@ -68,6 +68,38 @@ pub fn geometry_static_stream(
     Ok(out)
 }
 
+/// Deterministic Poisson arrival times: `frames` arrival offsets (in
+/// microseconds from stream start) whose inter-arrival gaps are
+/// exponentially distributed with mean `1e6 / rate_hz` — the classic
+/// memoryless model of independent LiDAR streams hitting a shared service.
+/// Deterministic in `seed`, so a serving benchmark replays the exact same
+/// offered load every run.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_data::poisson_arrivals;
+///
+/// let arrivals = poisson_arrivals(100, 20.0, 42);
+/// assert_eq!(arrivals.len(), 100);
+/// // Arrival times are nondecreasing, mean gap ~ 50ms at 20 Hz.
+/// assert!(arrivals.windows(2).all(|w| w[1] >= w[0]));
+/// ```
+pub fn poisson_arrivals(frames: usize, rate_hz: f64, seed: u64) -> Vec<u64> {
+    let rate = if rate_hz.is_finite() && rate_hz > 0.0 { rate_hz } else { 1.0 };
+    let mean_gap_us = 1e6 / rate;
+    let mut state = seed ^ 0xA02_87EC5_u64.rotate_left(13);
+    let mut t = 0.0f64;
+    (0..frames)
+        .map(|_| {
+            // Inverse-CDF sample of Exp(1/mean): -mean * ln(1 - u).
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            t += -mean_gap_us * (1.0 - u).max(f64::MIN_POSITIVE).ln();
+            t as u64
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +153,35 @@ mod tests {
     #[test]
     fn zero_frames_is_empty() {
         assert!(geometry_static_stream(&base(), 0, 0.1, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_ordered() {
+        let a = poisson_arrivals(200, 20.0, 5);
+        let b = poisson_arrivals(200, 20.0, 5);
+        assert_eq!(a, b, "same seed must replay the same offered load");
+        assert_ne!(a, poisson_arrivals(200, 20.0, 6));
+        assert!(a.windows(2).all(|w| w[1] >= w[0]), "arrival times must be nondecreasing");
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        let a = poisson_arrivals(2000, 20.0, 1);
+        let mean_gap = *a.last().unwrap() as f64 / a.len() as f64;
+        // Mean inter-arrival at 20 Hz is 50ms; allow generous sampling slack.
+        assert!(
+            (35_000.0..65_000.0).contains(&mean_gap),
+            "mean gap {mean_gap}us should be near 50ms"
+        );
+    }
+
+    #[test]
+    fn poisson_degenerate_rates_fall_back() {
+        // Non-finite or non-positive rates fall back to 1 Hz instead of
+        // dividing by zero.
+        let a = poisson_arrivals(10, 0.0, 3);
+        assert_eq!(a.len(), 10);
+        let b = poisson_arrivals(10, f64::NAN, 3);
+        assert_eq!(a, b);
     }
 }

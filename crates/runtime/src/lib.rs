@@ -393,17 +393,61 @@ fn detect_cpu_features() -> CpuFeatures {
     CpuFeatures { avx2: false, fma: false, f16c: false }
 }
 
-/// The default pool width: `TORCHSPARSE_THREADS` when set to a positive
-/// integer, otherwise the host's available parallelism.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("TORCHSPARSE_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Emits a warning about a malformed environment override on stderr, at
+/// most once per variable per process.
+///
+/// Every `TORCHSPARSE_*` override funnels misparses through here so a typo
+/// (`TORCHSPARSE_THREADS=abc`) is reported exactly once, naming the
+/// variable, the rejected value, and the fallback chosen — never silently
+/// swallowed, never repeated per call.
+pub fn warn_env_once(var: &'static str, warning: &str) {
+    static WARNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut warned = match WARNED.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if !warned.contains(&var) {
+        warned.push(var);
+        eprintln!("[torchsparse] warning: {warning}");
     }
-    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Resolves a `TORCHSPARSE_THREADS` value against the host's parallelism.
+///
+/// Strict parse: only a positive integer is accepted. Anything else
+/// (`"abc"`, `"0"`, `"-2"`, `""`) yields the host fallback plus a warning
+/// message naming the variable and the fallback — factored out of
+/// [`default_threads`] so the policy is testable without touching process
+/// environment state.
+pub fn resolve_threads(raw: Option<&str>, host_parallelism: usize) -> (usize, Option<String>) {
+    let host = host_parallelism.max(1);
+    match raw {
+        None => (host, None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                host,
+                Some(format!(
+                    "TORCHSPARSE_THREADS={s:?} is not a positive integer; \
+                     falling back to the host's available parallelism ({host})"
+                )),
+            ),
+        },
+    }
+}
+
+/// The default pool width: `TORCHSPARSE_THREADS` when set to a positive
+/// integer, otherwise the host's available parallelism. A set-but-malformed
+/// value (e.g. `"abc"` or `"0"`) is rejected with a one-time warning
+/// instead of being silently ignored.
+pub fn default_threads() -> usize {
+    let host = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let (threads, warning) =
+        resolve_threads(std::env::var("TORCHSPARSE_THREADS").ok().as_deref(), host);
+    if let Some(w) = warning {
+        warn_env_once("TORCHSPARSE_THREADS", &w);
+    }
+    threads
 }
 
 /// Replays one recorded task trace through a greedy list schedule on
@@ -578,6 +622,38 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_accepts_positive_integers() {
+        assert_eq!(resolve_threads(Some("3"), 8), (3, None));
+        assert_eq!(resolve_threads(Some(" 16 "), 2), (16, None));
+        assert_eq!(resolve_threads(None, 4), (4, None));
+    }
+
+    #[test]
+    fn resolve_threads_warns_on_malformed_values() {
+        for bad in ["abc", "0", "-2", "", "1.5", "two"] {
+            let (threads, warning) = resolve_threads(Some(bad), 6);
+            assert_eq!(threads, 6, "{bad:?} must fall back to host parallelism");
+            let w = warning.unwrap_or_else(|| panic!("{bad:?} must produce a warning"));
+            assert!(w.contains("TORCHSPARSE_THREADS"), "warning must name the variable: {w}");
+            assert!(w.contains("available parallelism (6)"), "warning must name fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_clamps_zero_host() {
+        assert_eq!(resolve_threads(None, 0), (1, None));
+    }
+
+    #[test]
+    fn warn_env_once_is_idempotent() {
+        // No output assertion (stderr), but repeated calls must not panic or
+        // deadlock, and distinct variables take separate slots.
+        warn_env_once("TORCHSPARSE_TEST_VAR", "first");
+        warn_env_once("TORCHSPARSE_TEST_VAR", "second");
+        warn_env_once("TORCHSPARSE_TEST_VAR_2", "other");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Typed serving-layer errors.
+
+use std::fmt;
+use torchsparse_core::CoreError;
+
+/// Why a frame did not produce a normal output.
+///
+/// Split along the isolation boundaries: admission errors
+/// ([`Rejected`](ServeError::Rejected), [`QueueFull`](ServeError::QueueFull),
+/// [`Shed`](ServeError::Shed)) are returned synchronously from
+/// [`ServiceHandle::submit`](crate::ServiceHandle::submit) and never reach
+/// a worker; execution errors ([`Failed`](ServeError::Failed),
+/// [`Poisoned`](ServeError::Poisoned)) arrive in the frame's
+/// [`Completion`](crate::Completion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the frame (validation budget or
+    /// malformed input), with the same typed [`CoreError`] the validation
+    /// layer produces.
+    Rejected(CoreError),
+    /// The stream's bounded queue was full: the frame was shed.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// Admitting the frame would exceed the service-wide in-flight point
+    /// budget: the frame was shed.
+    Shed(CoreError),
+    /// No stream with this index exists.
+    UnknownStream {
+        /// The requested stream index.
+        stream: usize,
+    },
+    /// The stream has shut down (service drained, or its state could not
+    /// be rebuilt after quarantine).
+    StreamClosed,
+    /// Execution failed after `attempts` tries with a typed engine error
+    /// (deadline overruns land here when retries are exhausted).
+    Failed {
+        /// The final attempt's error.
+        error: CoreError,
+        /// How many times the frame ran.
+        attempts: u32,
+    },
+    /// The request panicked. The panic was contained at the per-request
+    /// `catch_unwind` boundary, the stream was quarantined, and its state
+    /// was rebuilt from the shared plan.
+    Poisoned {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "admission rejected: {e}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "stream queue full (capacity {capacity}); frame shed")
+            }
+            ServeError::Shed(e) => write!(f, "service budget exhausted; frame shed: {e}"),
+            ServeError::UnknownStream { stream } => write!(f, "no stream {stream}"),
+            ServeError::StreamClosed => f.write_str("stream has shut down"),
+            ServeError::Failed { error, attempts } => {
+                write!(f, "failed after {attempts} attempt(s): {error}")
+            }
+            ServeError::Poisoned { message } => {
+                write!(f, "request panicked (stream quarantined and rebuilt): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Rejected(e) | ServeError::Shed(e) | ServeError::Failed { error: e, .. } => {
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_nonempty() {
+        let variants = vec![
+            ServeError::Rejected(CoreError::EmptyInput),
+            ServeError::QueueFull { capacity: 8 },
+            ServeError::Shed(CoreError::BudgetExceeded { points: 10, limit: 5 }),
+            ServeError::UnknownStream { stream: 3 },
+            ServeError::StreamClosed,
+            ServeError::Failed { error: CoreError::EmptyInput, attempts: 3 },
+            ServeError::Poisoned { message: "boom".to_owned() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_through_core_errors() {
+        use std::error::Error;
+        assert!(ServeError::Rejected(CoreError::EmptyInput).source().is_some());
+        assert!(ServeError::StreamClosed.source().is_none());
+    }
+}

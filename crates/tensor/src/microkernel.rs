@@ -100,23 +100,46 @@ impl Kernel {
 /// never auto-selected; see [`Kernel::with_fma`].
 pub fn active() -> Kernel {
     static ACTIVE: OnceLock<Kernel> = OnceLock::new();
-    *ACTIVE.get_or_init(|| select(std::env::var("TORCHSPARSE_SIMD").ok().as_deref()))
+    *ACTIVE.get_or_init(|| {
+        let (kernel, warning) = select(std::env::var("TORCHSPARSE_SIMD").ok().as_deref());
+        if let Some(w) = warning {
+            torchsparse_runtime::warn_env_once("TORCHSPARSE_SIMD", &w);
+        }
+        kernel
+    })
 }
 
 /// Resolves a kernel from an optional `TORCHSPARSE_SIMD` value; factored out
 /// of [`active`] so the policy is testable without touching process state.
-fn select(env: Option<&str>) -> Kernel {
-    match env.map(str::trim) {
-        Some(s) if s.eq_ignore_ascii_case("off") || s.eq_ignore_ascii_case("portable") => {
+///
+/// Strict parse: `off`/`portable`, `scalar`, and `auto`/`on` are the
+/// recognized values (case-insensitive). Anything else auto-detects and
+/// returns a warning message naming the variable and the kernel fallback.
+fn select(env: Option<&str>) -> (Kernel, Option<String>) {
+    let auto = || {
+        if torchsparse_runtime::cpu_features().avx2 {
+            Kernel::Avx2
+        } else {
             Kernel::Portable
         }
-        Some(s) if s.eq_ignore_ascii_case("scalar") => Kernel::Scalar,
-        _ => {
-            if torchsparse_runtime::cpu_features().avx2 {
-                Kernel::Avx2
-            } else {
-                Kernel::Portable
-            }
+    };
+    match env.map(str::trim) {
+        None => (auto(), None),
+        Some(s) if s.eq_ignore_ascii_case("off") || s.eq_ignore_ascii_case("portable") => {
+            (Kernel::Portable, None)
+        }
+        Some(s) if s.eq_ignore_ascii_case("scalar") => (Kernel::Scalar, None),
+        Some(s) if s.eq_ignore_ascii_case("auto") || s.eq_ignore_ascii_case("on") => (auto(), None),
+        Some(s) => {
+            let kernel = auto();
+            (
+                kernel,
+                Some(format!(
+                    "TORCHSPARSE_SIMD={s:?} is not one of off/portable/scalar/auto; \
+                     falling back to auto-detection ({})",
+                    kernel.name()
+                )),
+            )
         }
     }
 }
@@ -1234,13 +1257,27 @@ mod tests {
 
     #[test]
     fn env_selection_policy() {
-        assert_eq!(select(Some("off")), Kernel::Portable);
-        assert_eq!(select(Some(" Portable ")), Kernel::Portable);
-        assert_eq!(select(Some("scalar")), Kernel::Scalar);
-        let auto = select(None);
+        assert_eq!(select(Some("off")), (Kernel::Portable, None));
+        assert_eq!(select(Some(" Portable ")), (Kernel::Portable, None));
+        assert_eq!(select(Some("scalar")), (Kernel::Scalar, None));
+        let (auto, none) = select(None);
+        assert!(none.is_none());
         assert!(auto == Kernel::Avx2 || auto == Kernel::Portable);
-        assert_eq!(select(Some("on")), auto);
+        assert_eq!(select(Some("on")), (auto, None));
+        assert_eq!(select(Some("AUTO")), (auto, None));
         assert_ne!(auto, Kernel::Avx2Fma, "FMA is never auto-selected");
+    }
+
+    #[test]
+    fn env_selection_warns_on_unknown_values() {
+        for bad in ["avx512", "1", "yes", ""] {
+            let (kernel, warning) = select(Some(bad));
+            let (auto, _) = select(None);
+            assert_eq!(kernel, auto, "{bad:?} must fall back to auto-detection");
+            let w = warning.unwrap_or_else(|| panic!("{bad:?} must produce a warning"));
+            assert!(w.contains("TORCHSPARSE_SIMD"), "warning must name the variable: {w}");
+            assert!(w.contains(kernel.name()), "warning must name the fallback kernel: {w}");
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! - [`core`]: the sparse convolution engine — sparse tensors, dataflows,
 //!   adaptive grouping, mapping optimizations, engine presets.
 //! - [`models`]: MinkUNet and CenterPoint sparse model zoo.
+//! - [`serve`]: fault-isolated multi-stream serving runtime — admission
+//!   control, per-request deadlines, stream quarantine, deterministic
+//!   retry.
 //!
 //! # Quickstart
 //!
@@ -50,4 +53,5 @@ pub use torchsparse_core as core;
 pub use torchsparse_data as data;
 pub use torchsparse_gpusim as gpusim;
 pub use torchsparse_models as models;
+pub use torchsparse_serve as serve;
 pub use torchsparse_tensor as tensor;
