@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use torchsparse_bench::{build_model, dataset_for, fmt, scenes, BenchArgs};
 use torchsparse_core::runtime::{modeled_makespan, ThreadPool};
-use torchsparse_core::{DeviceProfile, Engine, OptimizationConfig};
+use torchsparse_core::{fused_enabled, DeviceProfile, Engine, OptimizationConfig};
 use torchsparse_models::BenchmarkModel;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -38,6 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .position(|a| a == "--out")
         .and_then(|i| args.rest.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let min_parallel_fraction: Option<f64> = args
+        .rest
+        .iter()
+        .position(|a| a == "--min-parallel-fraction")
+        .and_then(|i| args.rest.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let bm = BenchmarkModel::MinkUNetHalfSemanticKitti;
     let ds = dataset_for(bm, args.scale);
@@ -67,8 +73,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         THREAD_COUNTS.iter().copied().filter(|t| !measured_counts.contains(t)).collect();
     let mut measured: Vec<(usize, f64)> = Vec::new();
     let mut reference_bits: Option<Vec<u32>> = None;
-    let mut workspace_fresh = 0u64;
-    let mut workspace_reuses = 0u64;
     for &threads in &measured_counts {
         let mut engine = engine_with_threads(threads);
         let mut out = engine.run(model.as_ref(), &inputs[0])?;
@@ -84,12 +88,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 assert_eq!(r, &bits, "outputs must be bitwise identical at {threads} threads")
             }
         }
-        if threads == 1 {
-            workspace_fresh = engine.context().runtime.workspaces.fresh_allocations;
-            workspace_reuses = engine.context().runtime.workspaces.reuses;
-        }
         measured.push((threads, wall));
     }
+
+    // Workspace counters come from a dedicated *buffered* (unfused) pass:
+    // the fused default streams map rows through register tiles and takes
+    // no movement buffers at all, so reading the arena of a fused engine
+    // would always report 0/0 regardless of whether recycling works. If
+    // the TORCHSPARSE_FUSED override forces fusion on, the buffered path
+    // cannot run and the counters are skipped (marked in the JSON).
+    let mut unfused_cfg = OptimizationConfig::torchsparse();
+    unfused_cfg.fused_execution = false;
+    unfused_cfg.threads = Some(1);
+    let buffered_pass_ran = !fused_enabled(&unfused_cfg);
+    let (workspace_fresh, workspace_reuses) = if buffered_pass_ran {
+        let mut engine = Engine::with_config(unfused_cfg, DeviceProfile::rtx_2080ti());
+        engine.run(model.as_ref(), &inputs[0])?; // warm the arena
+        for x in &inputs {
+            engine.run(model.as_ref(), x)?;
+        }
+        let ws = &engine.context().runtime.workspaces;
+        assert!(
+            ws.reuses > 0,
+            "buffered steady-state passes must recycle workspace buffers \
+             (fresh {}, reuses {})",
+            ws.fresh_allocations,
+            ws.reuses
+        );
+        (ws.fresh_allocations, ws.reuses)
+    } else {
+        (0, 0)
+    };
 
     // Modeled scaling: trace every parallel region's task durations with a
     // recording pool, then replay the trace on N lanes.
@@ -161,10 +190,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.iter().map(Vec::len).sum::<usize>(),
         parallel_fraction * 100.0
     );
-    println!(
-        "workspace arena (1-thread engine, {} scenes after warmup): {} fresh allocations, {} reuses",
-        args.scenes, workspace_fresh, workspace_reuses
-    );
+    if buffered_pass_ran {
+        println!(
+            "workspace arena (buffered 1-thread engine, {} scenes after warmup): \
+             {} fresh allocations, {} reuses",
+            args.scenes, workspace_fresh, workspace_reuses
+        );
+    } else {
+        println!(
+            "workspace arena: skipped (TORCHSPARSE_FUSED forces fusion on; the fused \
+             path takes no movement buffers, so arena counters carry no signal)"
+        );
+    }
 
     let speedup_8 = modeled.iter().find(|(l, _, _)| *l == 8).map(|(_, _, s)| *s).unwrap_or(0.0);
     let mut json = String::new();
@@ -210,7 +247,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parallel_fraction
     ));
     json.push_str(&format!(
-        "  \"workspace\": {{\"fresh_allocations\": {workspace_fresh}, \"reuses\": {workspace_reuses}}},\n"
+        "  \"workspace\": {{\"buffered_pass_ran\": {buffered_pass_ran}, \
+         \"fresh_allocations\": {workspace_fresh}, \"reuses\": {workspace_reuses}}},\n"
     ));
     json.push_str(&format!("  \"modeled_speedup_at_8_lanes\": {speedup_8:.3}\n"));
     json.push_str("}\n");
@@ -219,6 +257,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if speedup_8 < 2.0 {
         println!("WARNING: modeled 8-lane speedup {speedup_8:.2}x below the 2x target");
+    }
+    if let Some(min) = min_parallel_fraction {
+        if parallel_fraction < min {
+            return Err(format!(
+                "parallel fraction {parallel_fraction:.4} below the required {min} \
+                 (--min-parallel-fraction)"
+            )
+            .into());
+        }
+        println!("parallel fraction {parallel_fraction:.4} meets the {min} floor");
     }
     Ok(())
 }

@@ -150,6 +150,17 @@ pub struct OptimizationConfig {
     /// numerics — the GPU cost simulator always models the movement
     /// pipeline selected by `fused_gather_scatter`.
     pub fused_execution: bool,
+    /// Accumulate the scatter reduction through exact, order-independent
+    /// fixed-point superaccumulators (`torchsparse_tensor::accum`) instead
+    /// of order-pinned serial `f32` addition. Every output element becomes
+    /// the correctly rounded sum of its partial products — bitwise
+    /// reproducible across thread counts, chunk partitionings, and the
+    /// fused/unfused routes — which lets the scatter run as parallel pool
+    /// tasks instead of a serial walk. Defaults on in every preset; the
+    /// `TORCHSPARSE_EXACT_ACCUM` environment variable (`off`/`on`)
+    /// overrides it process-wide, with `off` restoring the historical
+    /// serial-order bits for A/B comparison.
+    pub exact_accumulation: bool,
 }
 
 /// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
@@ -186,6 +197,41 @@ fn parse_fused_override(raw: &str) -> Result<bool, String> {
     }
 }
 
+/// Resolves the effective exact-accumulation switch: `TORCHSPARSE_EXACT_ACCUM`
+/// (`off`/`0`/`false` restores the historical serial-order scatter,
+/// `on`/`1`/`true` forces exact accumulation) wins over
+/// `config.exact_accumulation`. The variable is read once per process; a
+/// set-but-unrecognized value emits a one-time warning and defers to the
+/// configuration instead of being silently ignored.
+pub fn exact_accum_enabled(config: &OptimizationConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_EXACT_ACCUM").ok()?;
+        match parse_exact_accum_override(&raw) {
+            Ok(forced) => Some(forced),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_EXACT_ACCUM", &warning);
+                None
+            }
+        }
+    });
+    forced.unwrap_or(config.exact_accumulation)
+}
+
+/// Strictly parses a `TORCHSPARSE_EXACT_ACCUM` value; factored out of
+/// [`exact_accum_enabled`] so the policy is testable without touching
+/// process state. Unrecognized values return the warning message to emit.
+fn parse_exact_accum_override(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(false),
+        "on" | "1" | "true" => Ok(true),
+        _ => Err(format!(
+            "TORCHSPARSE_EXACT_ACCUM={raw:?} is not one of on/off/1/0/true/false; \
+             falling back to the engine configuration's exact_accumulation flag"
+        )),
+    }
+}
+
 impl OptimizationConfig {
     /// Fully optimized TorchSparse configuration.
     pub fn torchsparse() -> OptimizationConfig {
@@ -207,6 +253,7 @@ impl OptimizationConfig {
             simd: SimdPolicy::Auto,
             fma_gemm: false,
             fused_execution: true,
+            exact_accumulation: true,
         }
     }
 
@@ -234,6 +281,10 @@ impl OptimizationConfig {
             // one of the paper's ablated optimizations: it changes no bits,
             // so even the baseline uses it.
             fused_execution: true,
+            // Same reasoning: exact accumulation is a host-executor detail
+            // (a *stronger* determinism guarantee, not a looser one), so
+            // even the baseline uses it.
+            exact_accumulation: true,
         }
     }
 
@@ -318,6 +369,7 @@ mod tests {
         assert!(matches!(c.grouping, GroupingStrategy::Adaptive { .. }));
         assert_eq!(c.map_search, MapSearchStrategy::Auto);
         assert!(c.fused_execution);
+        assert!(c.exact_accumulation);
     }
 
     #[test]
@@ -359,6 +411,11 @@ mod tests {
                 "{}: fused execution is bitwise-neutral and defaults on",
                 preset.name()
             );
+            assert!(
+                c.exact_accumulation,
+                "{}: exact accumulation strengthens determinism and defaults on",
+                preset.name()
+            );
         }
     }
 
@@ -371,6 +428,18 @@ mod tests {
             let w = parse_fused_override(bad).expect_err("malformed value must warn");
             assert!(w.contains("TORCHSPARSE_FUSED"), "warning must name the variable: {w}");
             assert!(w.contains("fused_execution"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn exact_accum_override_parses_strictly() {
+        for (raw, expect) in [("off", false), ("0", false), ("FALSE", false), (" on ", true)] {
+            assert_eq!(parse_exact_accum_override(raw), Ok(expect), "{raw:?}");
+        }
+        for bad in ["abc", "2", "", "yes"] {
+            let w = parse_exact_accum_override(bad).expect_err("malformed value must warn");
+            assert!(w.contains("TORCHSPARSE_EXACT_ACCUM"), "warning must name the variable: {w}");
+            assert!(w.contains("exact_accumulation"), "warning must name the fallback: {w}");
         }
     }
 

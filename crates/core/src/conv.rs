@@ -331,15 +331,17 @@ impl SparseConv3d {
             ConvDataflow::Grouped(plan_groups(&map_ref.sizes(), submanifold, strategy))
         };
 
-        // Plan-time locality reordering for the fused executor: sort each
+        // Plan-time locality reordering and scatter metadata: sort each
         // offset's entries by output row once per geometry, so every frame
-        // executed against this plan streams cache-friendly panels.
-        let fused = if crate::config::fused_enabled(&ctx.config) {
+        // executed against this plan streams cache-friendly panels (fused
+        // route) or chunk-partitioned producer lists (unfused scatter)
+        // without rebuilding any index. The per-offset work runs on the
+        // worker pool — plan builds are on the serial critical path of
+        // compiled sessions.
+        let fused = {
             let n_out =
                 if use_fine { cached.fine_coords.len() } else { cached.coarse_coords.len() };
-            Some(Arc::new(FusedOrder::build(map_ref, n_out)))
-        } else {
-            None
+            Arc::new(FusedOrder::build_on(&ctx.runtime.pool(), map_ref, n_out))
         };
 
         Ok(ConvPlan {
@@ -395,7 +397,7 @@ impl SparseConv3d {
             map: map_ref,
             n_out: out_coords.len(),
             center_identity: plan.center,
-            fused: plan.fused.as_deref(),
+            fused: Some(&plan.fused),
         };
 
         let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {

@@ -27,6 +27,7 @@ use torchsparse_coords::kernel_map::MapEntry;
 use torchsparse_coords::KernelMap;
 use torchsparse_gpusim::Precision as GemmPrecision;
 use torchsparse_gpusim::{AccessMode, ElemWidth, GemmShape, Stage};
+use torchsparse_tensor::accum::ExactAccumulator;
 use torchsparse_tensor::gemm::GemmOpts;
 use torchsparse_tensor::microkernel::{self, Kernel, PackedB};
 use torchsparse_tensor::{gemm, quant, Matrix};
@@ -183,6 +184,38 @@ pub struct FusedOrder {
     /// `starts[n][c]..starts[n][c + 1]` indexes the entries of `sorted[n]`
     /// whose outputs land in output-row chunk `c`.
     starts: Vec<Vec<u32>>,
+    /// Per-offset original map-entry index of each sorted entry
+    /// (`sorted[n][i]` came from `map.entries(n)[orig[n][i]]`). This is the
+    /// plan-time producer index the unfused scatter needs: the original
+    /// entry index is exactly the partial-sum row the GEMM wrote, so a
+    /// scatter task can stream `psums[n].row(orig[n][i])` without ever
+    /// rebuilding per-output producer lists at execute time.
+    orig: Vec<Vec<u32>>,
+}
+
+/// One offset's share of a [`FusedOrder`]: sorted entries, chunk split
+/// points, and original-index (producer) metadata.
+fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<MapEntry>, Vec<u32>, Vec<u32>) {
+    let mut orig: Vec<u32> = (0..src.len() as u32).collect();
+    // Forward maps are already output-ascending; only transposed maps
+    // actually pay the sort (stable, so entry order among equal outputs is
+    // preserved).
+    if !src.windows(2).all(|w| w[0].output <= w[1].output) {
+        orig.sort_by_key(|&i| src[i as usize].output);
+    }
+    let entries: Vec<MapEntry> = orig.iter().map(|&i| src[i as usize]).collect();
+    let mut s = Vec::with_capacity(chunks + 1);
+    let mut i = 0usize;
+    for c in 0..chunks {
+        s.push(i as u32);
+        let hi = ((c + 1) * MOVE_CHUNK) as u32;
+        while i < entries.len() && entries[i].output < hi {
+            i += 1;
+        }
+    }
+    s.push(i as u32);
+    debug_assert_eq!(i, entries.len(), "map output out of range");
+    (entries, s, orig)
 }
 
 impl FusedOrder {
@@ -194,29 +227,62 @@ impl FusedOrder {
         let volume = map.num_offsets();
         let mut sorted = Vec::with_capacity(volume);
         let mut starts = Vec::with_capacity(volume);
+        let mut orig = Vec::with_capacity(volume);
         for n in 0..volume {
-            let mut entries = map.entries(n).to_vec();
-            // Forward maps are already output-ascending; only transposed
-            // maps actually pay the sort.
-            if !entries.windows(2).all(|w| w[0].output <= w[1].output) {
-                entries.sort_by_key(|e| e.output);
-            }
-            let mut s = Vec::with_capacity(chunks + 1);
-            let mut i = 0usize;
-            for c in 0..chunks {
-                s.push(i as u32);
-                let hi = ((c + 1) * MOVE_CHUNK) as u32;
-                while i < entries.len() && entries[i].output < hi {
-                    i += 1;
-                }
-            }
-            s.push(i as u32);
-            debug_assert_eq!(i, entries.len(), "map output out of range");
-            sorted.push(entries);
+            let (e, s, o) = order_one_offset(map.entries(n), chunks);
+            sorted.push(e);
             starts.push(s);
+            orig.push(o);
         }
-        FusedOrder { sorted, starts }
+        FusedOrder { sorted, starts, orig }
     }
+
+    /// [`build`](FusedOrder::build) with the per-offset sort/split work
+    /// running as tasks on the worker pool. Plan builds sit on the serial
+    /// critical path of compiled sessions (and of every re-plan), so
+    /// spreading the K³ independent offsets across lanes directly raises
+    /// the engine's parallel fraction. The per-offset results are
+    /// identical to the serial builder's — offsets are fully independent —
+    /// so the constructed order is bitwise the same at any pool width.
+    #[must_use]
+    pub fn build_on(pool: &ThreadPool, map: &KernelMap, n_out: usize) -> FusedOrder {
+        let chunks = n_out.div_ceil(MOVE_CHUNK);
+        let volume = map.num_offsets();
+        let mut slots: Vec<Option<(Vec<MapEntry>, Vec<u32>, Vec<u32>)>> = vec![None; volume];
+        let tasks: Vec<Task<'_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(n, slot)| {
+                Box::new(move || *slot = Some(order_one_offset(map.entries(n), chunks))) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        let mut sorted = Vec::with_capacity(volume);
+        let mut starts = Vec::with_capacity(volume);
+        let mut orig = Vec::with_capacity(volume);
+        for slot in slots.into_iter().flatten() {
+            sorted.push(slot.0);
+            starts.push(slot.1);
+            orig.push(slot.2);
+        }
+        debug_assert_eq!(sorted.len(), volume, "every offset task must have run");
+        FusedOrder { sorted, starts, orig }
+    }
+}
+
+/// Process-wide count of [`FusedOrder`]s built *inside* the scatter because
+/// the caller provided none. Engine paths always thread the plan-time order
+/// through [`ConvWorkload::fused`], so steady-state compiled frames keep
+/// this at zero — the regression test in `tests/fused_dataflow.rs` asserts
+/// exactly that. Nonzero counts mean some call site is silently paying a
+/// per-call metadata rebuild.
+static SCATTER_FALLBACK_BUILDS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Total scatter-metadata fallback builds since process start (see
+/// [`SCATTER_FALLBACK_BUILDS`]).
+pub fn scatter_fallback_builds() -> usize {
+    SCATTER_FALLBACK_BUILDS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Copies `in_feats[entries[i].input] -> f[i]` for all entries, partitioned
@@ -256,28 +322,95 @@ fn gather_rows(
     pool.run(tasks);
 }
 
+std::thread_local! {
+    /// Per-worker superaccumulator grid for one output chunk of the exact
+    /// scatter (`rows_in_chunk x c_out` accumulators). Thread-local so the
+    /// persistent pool workers reach steady state with zero allocation.
+    static EXACT_GRID: std::cell::RefCell<Vec<ExactAccumulator>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Per-worker staging tile for the fused exact epilogue: the
+    /// microkernel writes one offset batch's products here before they are
+    /// folded into the accumulator grid.
+    static EXACT_TILE: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Reduces one output chunk through exact accumulators: seeds the grid with
+/// the chunk's current values (the zero init or the §4.2.1 center-shortcut
+/// GEMM result), folds in every partial-sum row the plan-time order assigns
+/// to the chunk, and writes back each element's single correctly rounded
+/// total. Addition into a superaccumulator is order-independent, so this
+/// produces identical bits no matter how chunks are scheduled — and
+/// identical bits to the fused epilogue, which feeds the same per-entry
+/// product values through the same accumulators.
+fn exact_scatter_chunk(
+    order: &FusedOrder,
+    psums: &[Option<Matrix>],
+    c: usize,
+    c_out: usize,
+    block: &mut [f32],
+) {
+    EXACT_GRID.with(|cell| {
+        let mut grid = cell.borrow_mut();
+        grid.clear();
+        grid.resize(block.len(), ExactAccumulator::new());
+        for (acc, &v) in grid.iter_mut().zip(block.iter()) {
+            acc.add(v);
+        }
+        let base = (c * MOVE_CHUNK) as u32;
+        for (n, p) in psums.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let lo = order.starts[n][c] as usize;
+            let hi = order.starts[n][c + 1] as usize;
+            for (e, &src) in order.sorted[n][lo..hi].iter().zip(&order.orig[n][lo..hi]) {
+                let rel = (e.output - base) as usize * c_out;
+                // `+ 0.0` canonicalizes a -0.0 partial sum to +0.0, exactly
+                // as the fused route's zero-initialized staging tile does —
+                // keeping the two routes' addend multisets bitwise equal.
+                for (acc, &v) in grid[rel..rel + c_out].iter_mut().zip(p.row(src as usize)) {
+                    acc.add(v + 0.0);
+                }
+            }
+        }
+        for (dst, acc) in block.iter_mut().zip(grid.iter()) {
+            *dst = acc.round();
+        }
+    });
+}
+
 /// Scatter-accumulates every offset's partial sums into `out` (FP32
 /// accumulation registers).
 ///
-/// Serial (`threads == 1`) iterates offset-major exactly like the original
-/// engine. The parallel path partitions *output rows* into fixed
-/// [`MOVE_CHUNK`] blocks and walks each row's producer list in `(offset,
-/// entry)` ascending order — the same per-element accumulation order as the
-/// serial loop — so results are bitwise identical at every pool width:
-/// tasks write disjoint output rows and FP32 addition happens in one fixed
-/// order per element.
+/// With exact accumulation on, output rows are partitioned into fixed
+/// [`MOVE_CHUNK`] blocks that reduce through per-chunk superaccumulator
+/// grids ([`exact_scatter_chunk`]) as pool tasks — each element becomes the
+/// correctly rounded sum of its producers, bitwise identical at any thread
+/// count *by arithmetic*, with no ordering constraint on the schedule.
+///
+/// With exact accumulation off, the historical bits are preserved: serial
+/// (`threads == 1`) iterates offset-major exactly like the original engine,
+/// and the parallel path walks each chunk offset-major through the
+/// plan-time order — the same per-element `(offset, entry)`-ascending FP32
+/// addition order as the serial loop, so results still match serial bits at
+/// every pool width.
+///
+/// `order` is the plan-time scatter metadata; `None` (hand-built workloads
+/// only) falls back to an on-the-spot build, counted by
+/// [`scatter_fallback_builds`].
 fn scatter_accumulate(
     pool: &ThreadPool,
     kernel: Kernel,
     map: &KernelMap,
     psums: &[Option<Matrix>],
     out: &mut Matrix,
+    order: Option<&FusedOrder>,
+    exact: bool,
 ) {
     let c_out = out.cols();
     if out.rows() == 0 || c_out == 0 {
         return;
     }
-    if pool.threads() <= 1 && !pool.is_recording() {
+    if !exact && pool.threads() <= 1 && !pool.is_recording() {
         for (n, p) in psums.iter().enumerate() {
             let Some(p) = p else { continue };
             for (i, e) in map.entries(n).iter().enumerate() {
@@ -287,33 +420,47 @@ fn scatter_accumulate(
         }
         return;
     }
-    // Producer index (the transposed map): for each output row, its
-    // (offset, psum-row) sources. Pushed offset-major, entry-ascending, so
-    // each list is already in serial accumulation order.
-    let mut producers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); out.rows()];
-    for (n, p) in psums.iter().enumerate() {
-        if p.is_none() {
-            continue;
+    let built;
+    let order = match order {
+        Some(o) => o,
+        None => {
+            SCATTER_FALLBACK_BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            built = FusedOrder::build(map, out.rows());
+            &built
         }
-        for (i, e) in map.entries(n).iter().enumerate() {
-            producers[e.output as usize].push((n as u32, i as u32));
+    };
+    let run_chunk = |c: usize, block: &mut [f32]| {
+        if exact {
+            exact_scatter_chunk(order, psums, c, c_out, block);
+            return;
         }
+        let base = (c * MOVE_CHUNK) as u32;
+        for (n, p) in psums.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let lo = order.starts[n][c] as usize;
+            let hi = order.starts[n][c + 1] as usize;
+            for (e, &src) in order.sorted[n][lo..hi].iter().zip(&order.orig[n][lo..hi]) {
+                let rel = (e.output - base) as usize * c_out;
+                microkernel::accumulate_row(
+                    kernel,
+                    &mut block[rel..rel + c_out],
+                    p.row(src as usize),
+                );
+            }
+        }
+    };
+    if pool.threads() <= 1 && !pool.is_recording() {
+        for (c, block) in out.as_mut_slice().chunks_mut(MOVE_CHUNK * c_out).enumerate() {
+            run_chunk(c, block);
+        }
+        return;
     }
-    let producers = &producers;
+    let run_chunk = &run_chunk;
     let tasks: Vec<Task<'_>> = out
         .as_mut_slice()
         .chunks_mut(MOVE_CHUNK * c_out)
         .enumerate()
-        .map(|(c, block)| {
-            Box::new(move || {
-                for (r, dst) in block.chunks_mut(c_out).enumerate() {
-                    for &(n, i) in &producers[c * MOVE_CHUNK + r] {
-                        let Some(p) = psums[n as usize].as_ref() else { continue };
-                        microkernel::accumulate_row(kernel, dst, p.row(i as usize));
-                    }
-                }
-            }) as Task<'_>
-        })
+        .map(|(c, block)| Box::new(move || run_chunk(c, block)) as Task<'_>)
         .collect();
     pool.run(tasks);
 }
@@ -392,23 +539,40 @@ fn is_center_shortcut(w: &ConvWorkload<'_>, offsets: &[usize], ctx: &Context) ->
 /// `in_feats` through MR-row register tiles into `out`, with no gathered
 /// or partial-sum buffer in between.
 ///
-/// Per output element the accumulation order is exactly the unfused
-/// engine's — a zero-initialized k-ascending dot product per map entry
-/// (the GEMM into a zeroed psum row), optional f16 rounding of that
-/// product (the 16-bit psum store), then one FP32 add per entry with
-/// offsets ascending (the scatter) — so results are bitwise identical to
-/// the buffered path at any thread count. Parallel tasks own disjoint
-/// [`MOVE_CHUNK`] output-row blocks; the partition never depends on the
-/// pool width.
+/// Per output element, with exact accumulation off, the accumulation order
+/// is exactly the unfused engine's — a zero-initialized k-ascending dot
+/// product per map entry (the GEMM into a zeroed psum row), optional f16
+/// rounding of that product (the 16-bit psum store), then one FP32 add per
+/// entry with offsets ascending (the scatter) — so results are bitwise
+/// identical to the buffered path at any thread count. With exact
+/// accumulation on, each offset batch's products stage through a zeroed
+/// per-worker tile and fold into the chunk's superaccumulator grid, making
+/// the result the correctly rounded sum of the same addend multiset the
+/// unfused exact scatter reduces — bitwise equal across routes *and*
+/// schedules. Parallel tasks own disjoint [`MOVE_CHUNK`] output-row
+/// blocks; the partition never depends on the pool width.
+#[allow(clippy::too_many_arguments)]
 fn run_fused_numerics(
     w: &ConvWorkload<'_>,
     fused: &FusedOrder,
     shortcut: Option<usize>,
     round_f16: bool,
+    exact: bool,
     pool: &ThreadPool,
     kernel: Kernel,
     out: &mut Matrix,
 ) {
+    /// Identity row mapping for the exact path's staging tile: batch entry
+    /// `j`'s product lands in tile row `j`.
+    const IDENTITY: [u32; MOVE_CHUNK] = {
+        let mut a = [0u32; MOVE_CHUNK];
+        let mut i = 0;
+        while i < MOVE_CHUNK {
+            a[i] = i as u32;
+            i += 1;
+        }
+        a
+    };
     let (c_in, c_out) = (w.c_in(), w.c_out());
     if out.rows() == 0 || c_out == 0 {
         return;
@@ -423,6 +587,60 @@ fn run_fused_numerics(
         let base = (c * MOVE_CHUNK) as u32;
         let mut in_rows = [0u32; MOVE_CHUNK];
         let mut out_rel = [0u32; MOVE_CHUNK];
+        if exact {
+            EXACT_GRID.with(|gcell| {
+                EXACT_TILE.with(|tcell| {
+                    let mut grid = gcell.borrow_mut();
+                    let mut tile = tcell.borrow_mut();
+                    grid.clear();
+                    grid.resize(block.len(), ExactAccumulator::new());
+                    for (acc, &v) in grid.iter_mut().zip(block.iter()) {
+                        acc.add(v);
+                    }
+                    for n in 0..volume {
+                        if Some(n) == shortcut {
+                            continue;
+                        }
+                        let lo = fused.starts[n][c] as usize;
+                        let hi = fused.starts[n][c + 1] as usize;
+                        let entries = &fused.sorted[n][lo..hi];
+                        let mut i = 0;
+                        while i < entries.len() {
+                            let cnt = (entries.len() - i).min(MOVE_CHUNK);
+                            for (j, e) in entries[i..i + cnt].iter().enumerate() {
+                                in_rows[j] = e.input;
+                                out_rel[j] = e.output - base;
+                            }
+                            tile.clear();
+                            tile.resize(cnt * c_out, 0.0);
+                            microkernel::gemm_gather_scatter(
+                                kernel,
+                                a,
+                                c_in,
+                                &in_rows[..cnt],
+                                operand(n),
+                                c_out,
+                                round_f16,
+                                &mut tile,
+                                &IDENTITY[..cnt],
+                            );
+                            for (j, &rel) in out_rel[..cnt].iter().enumerate() {
+                                let dst = rel as usize * c_out;
+                                let src = &tile[j * c_out..(j + 1) * c_out];
+                                for (acc, &v) in grid[dst..dst + c_out].iter_mut().zip(src) {
+                                    acc.add(v);
+                                }
+                            }
+                            i += cnt;
+                        }
+                    }
+                    for (dst, acc) in block.iter_mut().zip(grid.iter()) {
+                        *dst = acc.round();
+                    }
+                });
+            });
+            return;
+        }
         for n in 0..volume {
             if Some(n) == shortcut {
                 continue;
@@ -497,6 +715,7 @@ pub fn run_gather_matmul_scatter(
     // for numerics (bmm pad rows are zero and never scattered), so the
     // fused path ignores it; the simulated cost below still models the
     // configured grouping/movement kernels either way.
+    let exact = crate::config::exact_accum_enabled(&ctx.config);
     let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
         None
     } else {
@@ -517,7 +736,7 @@ pub fn run_gather_matmul_scatter(
             }
         }
         let round_f16 = ctx.config.precision != Precision::Fp32;
-        run_fused_numerics(w, order, shortcut, round_f16, &pool, kernel, &mut out);
+        run_fused_numerics(w, order, shortcut, round_f16, exact, &pool, kernel, &mut out);
     }
     // Unfused route: gather per-offset feature matrices, run the (b)mm,
     // keep partial sums. Gather/psum buffers come from the context's
@@ -606,7 +825,7 @@ pub fn run_gather_matmul_scatter(
     }
     // Scatter-accumulate (FP32 accumulation registers).
     if run_numerics {
-        scatter_accumulate(&pool, kernel, w.map, &psums, &mut out);
+        scatter_accumulate(&pool, kernel, w.map, &psums, &mut out, w.fused, exact);
     }
     for p in psums.drain(..).flatten() {
         ctx.runtime.workspaces.give(p);
@@ -632,6 +851,39 @@ pub fn run_gather_matmul_scatter(
     Ok(out)
 }
 
+/// Counting-sorts the map entries of `offsets` into per-row buckets keyed
+/// by `key(entry)`: returns `(starts, slots)` where row `r`'s producers are
+/// `slots[starts[r]..starts[r + 1]]` as `(offset, entry_index)` pairs, in
+/// the same (offset-ascending, entry-ascending) order the previous
+/// `Vec<Vec<_>>` build pushed them — the simulated access sequence is
+/// unchanged, the per-row allocations are gone.
+fn bucket_by(
+    rows: usize,
+    offsets: &[usize],
+    map: &KernelMap,
+    key: impl Fn(&MapEntry) -> u32,
+) -> (Vec<u32>, Vec<(u32, u32)>) {
+    let mut starts = vec![0u32; rows + 1];
+    for &n in offsets {
+        for e in map.entries(n) {
+            starts[key(e) as usize + 1] += 1;
+        }
+    }
+    for r in 0..rows {
+        starts[r + 1] += starts[r];
+    }
+    let mut fill: Vec<u32> = starts[..rows].to_vec();
+    let mut slots = vec![(0u32, 0u32); starts[rows] as usize];
+    for &n in offsets {
+        for (i, e) in map.entries(n).iter().enumerate() {
+            let f = &mut fill[key(e) as usize];
+            slots[*f as usize] = (n as u32, i as u32);
+            *f += 1;
+        }
+    }
+    (starts, slots)
+}
+
 fn simulate_gather(
     w: &ConvWorkload<'_>,
     plan: &GroupPlan,
@@ -651,22 +903,20 @@ fn simulate_gather(
         // Input-stationary order (Figure 9b): one pass over the inputs in
         // ascending index order, covering every offset at once; each feature
         // row is read from DRAM once, held in registers, and written to
-        // every gather slot that needs it.
-        let mut neighbors: Vec<Vec<(usize, u32)>> = vec![Vec::new(); w.in_feats.rows()];
-        for &n in &offsets {
-            for (i, e) in w.map.entries(n).iter().enumerate() {
-                neighbors[e.input as usize].push((n, i as u32));
-            }
-        }
-        for (j, ns) in neighbors.iter().enumerate() {
-            if ns.is_empty() {
+        // every gather slot that needs it. The per-input neighbor lists are
+        // counting-sorted into one flat buffer (three allocations instead of
+        // one `Vec` per input row) in the same (offset, entry) order.
+        let (starts, slots) = bucket_by(w.in_feats.rows(), &offsets, w.map, |e| e.input);
+        for j in 0..w.in_feats.rows() {
+            let range = starts[j] as usize..starts[j + 1] as usize;
+            if range.is_empty() {
                 continue;
             }
             ctx.mem.read(bufs.in_base, j as u64 * bufs.feat_row_bytes, bufs.feat_row_bytes, m.feat);
-            for &(n, i) in ns {
+            for &(n, i) in &slots[range] {
                 ctx.mem.write(
                     bufs.gather_base,
-                    (bufs.seg_start[n] + i as u64) * bufs.feat_row_bytes,
+                    (bufs.seg_start[n as usize] + u64::from(i)) * bufs.feat_row_bytes,
                     bufs.feat_row_bytes,
                     m.feat,
                 );
@@ -751,21 +1001,18 @@ fn simulate_scatter(
     if ctx.config.locality_aware {
         // Output-stationary order: one pass over the outputs, reading every
         // partial sum for a point, reducing in registers, and writing the
-        // output row once.
-        let mut producers: Vec<Vec<(usize, u32)>> = vec![Vec::new(); w.n_out];
-        for &n in &offsets {
-            for (i, e) in w.map.entries(n).iter().enumerate() {
-                producers[e.output as usize].push((n, i as u32));
-            }
-        }
-        for (k, ps) in producers.iter().enumerate() {
-            if ps.is_empty() {
+        // output row once. Producer lists are counting-sorted into one flat
+        // buffer (same (offset, entry) order, no per-output allocations).
+        let (starts, slots) = bucket_by(w.n_out, &offsets, w.map, |e| e.output);
+        for k in 0..w.n_out {
+            let range = starts[k] as usize..starts[k + 1] as usize;
+            if range.is_empty() {
                 continue;
             }
-            for &(n, i) in ps {
+            for &(n, i) in &slots[range] {
                 ctx.mem.read(
                     bufs.psum_base,
-                    (bufs.seg_start[n] + i as u64) * bufs.psum_row_bytes,
+                    (bufs.seg_start[n as usize] + u64::from(i)) * bufs.psum_row_bytes,
                     bufs.psum_row_bytes,
                     m.psum,
                 );
@@ -843,22 +1090,31 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     // `out` — no scratch buffers taken at all. Fetch-on-demand keeps its
     // partial sums in FP32 (no 16-bit psum store), hence `round_f16:
     // false`, and never uses the center shortcut.
+    let exact = crate::config::exact_accum_enabled(&ctx.config);
     let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
         None
     } else {
         w.fused
     };
     if let Some(order) = fused_order {
-        run_fused_numerics(w, order, None, false, &pool, kernel, &mut out);
+        run_fused_numerics(w, order, None, false, exact, &pool, kernel, &mut out);
     }
-    // Unfused route: one scratch pair reused across all K^3 neighborhoods
-    // (previously a fresh gather matrix was allocated per offset): reshape
-    // keeps the backing storage whenever capacity suffices, and the buffers
-    // return to the workspace arena afterwards for the next layer or
-    // forward pass.
-    let mut buffers = (!ctx.simulate_only && fused_order.is_none()).then(|| {
+    let run_numerics = !ctx.simulate_only && fused_order.is_none();
+    // Unfused route, exact accumulation off: one scratch pair reused across
+    // all K^3 neighborhoods (previously a fresh gather matrix was allocated
+    // per offset): reshape keeps the backing storage whenever capacity
+    // suffices, and the buffers return to the workspace arena afterwards
+    // for the next layer or forward pass.
+    let mut buffers = (run_numerics && !exact).then(|| {
         (ctx.runtime.workspaces.take(0, w.c_in()), ctx.runtime.workspaces.take(0, w.c_out()))
     });
+    // Unfused route, exact accumulation on: partial sums are kept per
+    // offset (fetch-on-demand stays FP32, no 16-bit psum store) and the
+    // whole reduction runs through the shared exact scatter at the end —
+    // the same addend multiset the fused route folds, so both routes round
+    // to identical bits.
+    let mut psums: Vec<Option<Matrix>> =
+        if run_numerics && exact { vec![None; w.map.num_offsets()] } else { Vec::new() };
 
     for n in 0..w.map.num_offsets() {
         let entries = w.map.entries(n);
@@ -882,6 +1138,16 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
                 let dst = out.row_mut(e.output as usize);
                 microkernel::accumulate_row(kernel, dst, psum.row(i));
             }
+        } else if run_numerics && exact {
+            let mut f = ctx.runtime.workspaces.take(entries.len(), w.c_in());
+            gather_rows(&pool, kernel, w.in_feats, entries, &mut f);
+            let mut p = ctx.runtime.workspaces.take(entries.len(), w.c_out());
+            match w.packed {
+                Some(packed) => gemm::mm_into_packed_on(&pool, &f, &packed[n], &mut p, opts)?,
+                None => gemm::mm_into_with(&pool, &f, &w.weights[n], &mut p, opts)?,
+            }
+            ctx.runtime.workspaces.give(f);
+            psums[n] = Some(p);
         }
         for e in entries {
             // Memory: read the input row, read-modify-write the output row.
@@ -899,6 +1165,12 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     if let Some((scratch, psum)) = buffers {
         ctx.runtime.workspaces.give(scratch);
         ctx.runtime.workspaces.give(psum);
+    }
+    if run_numerics && exact {
+        scatter_accumulate(&pool, kernel, w.map, &psums, &mut out, w.fused, true);
+        for p in psums.drain(..).flatten() {
+            ctx.runtime.workspaces.give(p);
+        }
     }
     let report = ctx.mem.take_report();
     ctx.timeline.add(Stage::Gather, report.latency(&ctx.device));

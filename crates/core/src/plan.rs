@@ -125,11 +125,12 @@ pub(crate) struct ConvPlan {
     /// lazy pack cache: packing happens once per layer, and every frame
     /// executed against this plan streams the packed panels.
     pub(crate) packed: Arc<Vec<PackedB>>,
-    /// Plan-time locality ordering for the fused gather–GEMM–scatter
-    /// executor (map entries re-sorted by output row and split at
-    /// output-chunk boundaries). `None` when fused execution is disabled;
-    /// compiled sessions build it once per geometry.
-    pub(crate) fused: Option<Arc<FusedOrder>>,
+    /// Plan-time locality ordering and scatter metadata (map entries
+    /// re-sorted by output row, split at output-chunk boundaries, with
+    /// original-index producer links). The fused executor streams it and
+    /// the unfused scatter partitions by it, so it is built unconditionally
+    /// — once per geometry, on the worker pool.
+    pub(crate) fused: Arc<FusedOrder>,
 }
 
 impl ConvPlan {

@@ -20,19 +20,24 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct L2Cache {
-    /// `sets[s]` holds up to `ways` entries in LRU order (front = LRU).
-    sets: Vec<Vec<LineEntry>>,
+    /// Flattened set-associative store: set `s` occupies
+    /// `entries[s * ways .. s * ways + len[s]]` in LRU order (front = LRU).
+    /// Each entry packs the line tag in the low 63 bits and the dirty flag
+    /// in bit 63 — one contiguous `u64` scan per lookup instead of a
+    /// pointer chase through per-set vectors, which matters because the
+    /// movement simulation replays every line of every buffer sweep.
+    entries: Vec<u64>,
+    len: Vec<u8>,
     ways: usize,
     set_mask: u64,
     hits: u64,
     misses: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LineEntry {
-    tag: u64,
-    dirty: bool,
-}
+/// Dirty flag bit of a packed cache entry. Line tags are byte addresses
+/// divided by [`LINE_BYTES`], so even the pollution range at `1 << 62`
+/// stays far below bit 63.
+const DIRTY: u64 = 1 << 63;
 
 /// Cache line size in bytes (the CUDA memory transaction granularity).
 pub const LINE_BYTES: u64 = 128;
@@ -72,6 +77,7 @@ impl L2Cache {
     /// Panics if `ways == 0` or the capacity holds fewer than `ways` lines.
     pub fn new(capacity_bytes: u64, ways: usize) -> L2Cache {
         assert!(ways > 0, "cache must have at least one way");
+        assert!(ways <= usize::from(u8::MAX), "per-set length is tracked in a byte");
         let lines = (capacity_bytes / LINE_BYTES) as usize;
         assert!(lines >= ways, "capacity too small for {ways} ways");
         // Round the set count down to a power of two for cheap indexing.
@@ -79,7 +85,8 @@ impl L2Cache {
         let sets =
             if raw_sets.is_power_of_two() { raw_sets } else { raw_sets.next_power_of_two() / 2 };
         L2Cache {
-            sets: vec![Vec::with_capacity(ways); sets],
+            entries: vec![0; sets * ways],
+            len: vec![0; sets],
             ways,
             set_mask: sets as u64 - 1,
             hits: 0,
@@ -102,23 +109,34 @@ impl L2Cache {
         touched_bytes: u64,
     ) -> (bool, DramTraffic) {
         let set_idx = (line & self.set_mask) as usize;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let len = usize::from(self.len[set_idx]);
+        let set = &mut self.entries[base..base + len];
         let mut traffic = DramTraffic::default();
-        if let Some(pos) = set.iter().position(|e| e.tag == line) {
+        // Tags are unique within a set, so scanning from the MRU end finds
+        // hot lines (the overwhelmingly common case in streaming sweeps)
+        // after one or two probes instead of walking all `ways`.
+        if let Some(pos) = set.iter().rposition(|&e| e & !DIRTY == line) {
             // Hit: move to MRU, possibly transitioning clean -> dirty.
-            let mut entry = set.remove(pos);
-            if is_write && !entry.dirty {
-                entry.dirty = true;
+            let mut entry = set[pos];
+            if is_write && entry & DIRTY == 0 {
+                entry |= DIRTY;
                 traffic.written_back = touched_bytes;
             }
-            set.push(entry);
+            set.copy_within(pos + 1.., pos);
+            set[len - 1] = entry;
             self.hits += 1;
             (true, traffic)
         } else {
-            if set.len() == self.ways {
-                set.remove(0); // evict LRU (write-back already charged)
+            let entry = if is_write { line | DIRTY } else { line };
+            if len == self.ways {
+                // Evict LRU (write-back already charged) and append at MRU.
+                set.copy_within(1.., 0);
+                set[len - 1] = entry;
+            } else {
+                self.entries[base + len] = entry;
+                self.len[set_idx] = (len + 1) as u8;
             }
-            set.push(LineEntry { tag: line, dirty: is_write });
             self.misses += 1;
             if is_write {
                 // Write-allocate without fetch; charge the eventual
@@ -198,16 +216,20 @@ impl L2Cache {
 
     /// Clears contents and counters.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.len.fill(0);
         self.hits = 0;
         self.misses = 0;
     }
 
     /// Total capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        (self.sets.len() * self.ways) as u64 * LINE_BYTES
+        self.entries.len() as u64 * LINE_BYTES
+    }
+
+    /// Number of sets.
+    #[cfg(test)]
+    fn num_sets(&self) -> usize {
+        self.len.len()
     }
 }
 
@@ -230,7 +252,7 @@ mod tests {
     fn lru_eviction_order() {
         // 1 set x 2 ways.
         let mut c = L2Cache::new(128 * 2, 2);
-        assert_eq!(c.sets.len(), 1);
+        assert_eq!(c.num_sets(), 1);
         c.access(0); // line 0
         c.access(128); // line 1
         c.access(0); // touch line 0 -> MRU
@@ -350,7 +372,7 @@ mod tests {
     impl ReferenceCache {
         fn like(c: &L2Cache) -> ReferenceCache {
             ReferenceCache {
-                sets: vec![Vec::new(); c.sets.len()],
+                sets: vec![Vec::new(); c.num_sets()],
                 ways: c.ways,
                 set_mask: c.set_mask,
                 clock: 0,

@@ -108,7 +108,9 @@ fn fused_bitwise_identical_across_dataflows_precisions_kernels_threads() {
 /// buffered path takes gather/psum (and fetch-on-demand scratch) buffers
 /// every layer, the fused executor streams map rows straight through
 /// register tiles — fresh allocations *and* recycled takes both stay at
-/// zero, first pass and steady state alike.
+/// zero, first pass and steady state alike. Scatter metadata is equally
+/// plan-time-only: the producer ordering lives in the frozen `FusedOrder`,
+/// so no engine pass may fall back to an on-the-spot rebuild.
 #[test]
 fn fused_passes_take_no_movement_workspaces() {
     if forced_unfused() {
@@ -118,6 +120,7 @@ fn fused_passes_take_no_movement_workspaces() {
         (0..200).map(|i| ((i * 3) % 13 - 6, (i * 11) % 15 - 7, (i * 7) % 11 - 5)).collect();
     let x = tensor_from(&sites, 4, 7);
     let m = model(4, 7);
+    let fallbacks_before = torchsparse::core::dataflow::scatter_fallback_builds();
     for (dataflow, cfg) in dataflow_configs() {
         let mut cfg = cfg.clone();
         cfg.fused_execution = true;
@@ -135,4 +138,34 @@ fn fused_passes_take_no_movement_workspaces() {
             "{dataflow}: fused passes must not take workspace buffers at all"
         );
     }
+    assert_eq!(
+        torchsparse::core::dataflow::scatter_fallback_builds(),
+        fallbacks_before,
+        "engine passes must reuse plan-time scatter metadata, not rebuild it per call"
+    );
+}
+
+/// The unfused scatter also runs entirely on plan-time metadata: a parallel
+/// buffered pass (which before this ordering existed rebuilt per-output
+/// producer lists every call) triggers zero fallback builds.
+#[test]
+fn unfused_scatter_reuses_plan_time_metadata() {
+    let sites: Vec<(i32, i32, i32)> =
+        (0..200).map(|i| ((i * 5) % 13 - 6, (i * 9) % 15 - 7, (i * 7) % 11 - 5)).collect();
+    let x = tensor_from(&sites, 4, 11);
+    let m = model(4, 11);
+    let fallbacks_before = torchsparse::core::dataflow::scatter_fallback_builds();
+    for (_, cfg) in dataflow_configs() {
+        let mut cfg = cfg.clone();
+        cfg.fused_execution = false;
+        cfg.threads = Some(4);
+        let mut engine = Engine::with_config(cfg, DeviceProfile::rtx_2080ti());
+        engine.run(&m, &x).expect("first pass");
+        engine.run(&m, &x).expect("second pass");
+    }
+    assert_eq!(
+        torchsparse::core::dataflow::scatter_fallback_builds(),
+        fallbacks_before,
+        "unfused scatter must stream the frozen FusedOrder, not rebuild producer lists"
+    );
 }
