@@ -1,0 +1,181 @@
+//! Plan-memory benchmark: bytes/voxel and query cost of the three
+//! coordinate indexes (hashmap, grid, MPHF), plus the resident footprint
+//! of whole frozen plans under each index choice.
+//!
+//! The succinct-plan claim this pins: the MPHF cascade stores a frozen
+//! coordinate set in a fraction of the open-addressed hashmap's space (the
+//! hashmap pays 2x slack slots at 24 modeled bytes each; the MPHF pays
+//! ~2.6 bits/key of bitmaps plus the packed verification slots), while the
+//! grid only wins when the scene is dense enough to amortize its bounding
+//! box. Exits nonzero if the MPHF index is not at least 2x smaller than
+//! the hashmap index at the 100k-voxel point, and writes
+//! `BENCH_planmem.json`.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin plan_memory
+//! [--scale F] [--seed N] [--out PATH]`
+
+use std::hint::black_box;
+use std::time::Instant;
+use torchsparse_bench::{build_model, dataset_for, fmt, BenchArgs};
+use torchsparse_coords::{Coord, CoordHashMap, CoordIndex, GridTable, MphfIndex};
+use torchsparse_core::{CoordIndexChoice, DeviceProfile, Engine, EnginePreset};
+use torchsparse_models::BenchmarkModel;
+
+/// The floor the verify recipe smokes: MPHF index bytes/voxel must be at
+/// least this factor below the hashmap index at [`FLOOR_VOXELS`].
+const FLOOR_FACTOR: f64 = 2.0;
+const FLOOR_VOXELS: usize = 100_000;
+
+/// Voxel-count points the index structures are measured at.
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Cube side for the synthetic scene: `128^3 = 2^21` sites, so the 1M
+/// point fills ~48% of the box (a dense LiDAR-like crop) while 10k is
+/// sparse (~0.5%), exercising both regimes of the grid's bbox tradeoff.
+const SIDE: u32 = 128;
+
+/// Distinct coordinates: the first `n` sites of a bijective odd-stride
+/// walk over the `2^21`-site cube (an LCG-free permutation; no `rand`).
+fn cube_coords(n: usize) -> Vec<Coord> {
+    let volume = (SIDE as u64).pow(3); // power of two, so any odd stride is a bijection
+    let stride = 0x9E37_79B1u64; // odd
+    (0..n as u64)
+        .map(|i| {
+            let s = i.wrapping_mul(stride) % volume;
+            let x = (s % SIDE as u64) as i32;
+            let y = ((s / SIDE as u64) % SIDE as u64) as i32;
+            let z = (s / (SIDE as u64 * SIDE as u64)) as i32;
+            Coord::new(0, x, y, z)
+        })
+        .collect()
+}
+
+/// Mean query latency in nanoseconds over every stored coordinate.
+fn ns_per_query(index: &dyn CoordIndex, coords: &[Coord]) -> f64 {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for &c in coords {
+        if black_box(index.query(c).0).is_some() {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, coords.len() as u64, "every stored coordinate must be found");
+    start.elapsed().as_nanos() as f64 / coords.len() as f64
+}
+
+struct IndexPoint {
+    voxels: usize,
+    /// (label, bytes/voxel, ns/query) per index kind.
+    rows: Vec<(&'static str, f64, f64)>,
+}
+
+fn measure_indexes() -> Vec<IndexPoint> {
+    SIZES
+        .iter()
+        .map(|&n| {
+            let coords = cube_coords(n);
+            let (hash, _) = CoordHashMap::build(&coords);
+            let (grid, _) = GridTable::build(&coords, u64::MAX).expect("cube fits");
+            let (mphf, _) = MphfIndex::build(&coords).expect("distinct coords");
+            let rows = vec![
+                ("hashmap", hash.memory_bytes() as f64 / n as f64, ns_per_query(&hash, &coords)),
+                ("grid", grid.memory_bytes() as f64 / n as f64, ns_per_query(&grid, &coords)),
+                ("mphf", mphf.memory_bytes() as f64 / n as f64, ns_per_query(&mphf, &coords)),
+            ];
+            IndexPoint { voxels: n, rows }
+        })
+        .collect()
+}
+
+/// Input voxel count plus (label, plan bytes/voxel) per index choice.
+type PlanRows = (usize, Vec<(&'static str, f64)>);
+
+/// Whole-plan footprint: compile a MinkUNet stream under each index choice
+/// and read the frozen plan's resident bytes per input voxel.
+fn measure_plans(scale: f64, seed: u64) -> Result<PlanRows, Box<dyn std::error::Error>> {
+    let bm = BenchmarkModel::MinkUNetNuScenes1;
+    let input = dataset_for(bm, scale).scene(seed)?;
+    let model = build_model(bm, seed);
+    let mut rows = Vec::new();
+    for (label, choice) in [
+        ("hashmap", CoordIndexChoice::Hashmap),
+        ("grid", CoordIndexChoice::Grid),
+        ("mphf", CoordIndexChoice::Mphf),
+    ] {
+        let mut cfg = EnginePreset::TorchSparse.config();
+        cfg.coord_index = choice;
+        let mut session = Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
+            .compile(model.as_ref(), &input)?;
+        session.execute(&input)?;
+        rows.push((label, session.stats().plan_bytes as f64 / input.len() as f64));
+    }
+    Ok((input.len(), rows))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.1, 1);
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_planmem.json".to_owned());
+
+    println!("== Plan memory: coordinate indexes and frozen plans ==\n");
+
+    let points = measure_indexes();
+    for p in &points {
+        let rows: Vec<Vec<String>> = p
+            .rows
+            .iter()
+            .map(|(label, bpv, ns)| {
+                vec![(*label).to_owned(), format!("{bpv:.1}"), format!("{ns:.0}")]
+            })
+            .collect();
+        println!("---- {} voxels ----", p.voxels);
+        println!("{}", fmt::table(&["index", "bytes/voxel", "ns/query"], &rows));
+    }
+
+    let (plan_voxels, plan_rows) = measure_plans(args.scale, args.seed)?;
+    let plan_table: Vec<Vec<String>> =
+        plan_rows.iter().map(|(l, b)| vec![(*l).to_owned(), format!("{b:.1}")]).collect();
+    println!("---- frozen MinkUNet plan ({plan_voxels} input voxels) ----");
+    println!("{}", fmt::table(&["coord_index", "plan bytes/voxel"], &plan_table));
+
+    let floor_point = points.iter().find(|p| p.voxels == FLOOR_VOXELS).expect("100k point");
+    let bpv = |p: &IndexPoint, label: &str| {
+        p.rows.iter().find(|(l, ..)| *l == label).map(|&(_, b, _)| b).expect("measured")
+    };
+    let ratio = bpv(floor_point, "hashmap") / bpv(floor_point, "mphf");
+    println!("MPHF index is {ratio:.2}x smaller than the hashmap index at {FLOOR_VOXELS} voxels");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"index_points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!("    {{\"voxels\": {}", p.voxels));
+        for (label, bpv, ns) in &p.rows {
+            json.push_str(&format!(
+                ", \"{label}_bytes_per_voxel\": {bpv:.2}, \"{label}_ns_per_query\": {ns:.1}"
+            ));
+        }
+        json.push_str(if i + 1 < points.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"plan_voxels\": {plan_voxels},\n"));
+    for (label, b) in &plan_rows {
+        json.push_str(&format!("  \"plan_{label}_bytes_per_voxel\": {b:.1},\n"));
+    }
+    json.push_str(&format!("  \"mphf_vs_hashmap_index_reduction_at_100k\": {ratio:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("\nwrote {out_path}");
+
+    if ratio < FLOOR_FACTOR {
+        eprintln!(
+            "FAIL: MPHF index reduction {ratio:.2}x at {FLOOR_VOXELS} voxels is below the \
+             {FLOOR_FACTOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -81,16 +81,11 @@ impl Coord {
     /// conventional hashmap (§2.1.2: "the hash function can simply be
     /// flattening the coordinate of each dimension into an integer").
     pub fn fnv1a(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
+        let mut h = crate::fnv::Fnv1a::new();
         for word in [self.batch, self.x, self.y, self.z] {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(PRIME);
-            }
+            h.write_i32(word);
         }
-        h
+        h.finish()
     }
 }
 

@@ -1,0 +1,91 @@
+//! Shared FNV-1a hashing.
+//!
+//! Both the coordinate hashmap (spatial hashing, §2.1.2) and the engine's
+//! geometry fingerprinting (compiled-session plan keys) use 64-bit FNV-1a
+//! over little-endian integer bytes. This module is the single definition of
+//! the constants and the byte-folding loop so the two call sites cannot
+//! drift apart.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_coords::fnv::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_i32(42);
+/// let a = h.finish();
+/// let mut h2 = Fnv1a::new();
+/// h2.write_i32(42);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET_BASIS)
+    }
+
+    /// Folds one byte into the state.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 = (self.0 ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a byte slice into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a signed 32-bit word (little-endian bytes) into the state.
+    pub fn write_i32(&mut self, word: i32) {
+        self.write_bytes(&word.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), FNV_OFFSET_BASIS);
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn i32_matches_per_byte_folding() {
+        let mut a = Fnv1a::new();
+        a.write_i32(-12345);
+        let mut b = Fnv1a::new();
+        b.write_bytes(&(-12345i32).to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,4 +1,4 @@
-use crate::table::CoordTable;
+use crate::table::{CoordIndex, CoordTable};
 use crate::{Coord, CoordsError};
 
 /// The collision-free grid table (§4.4): a dense array over the coordinate
@@ -13,7 +13,7 @@ use crate::{Coord, CoordsError};
 /// # Example
 ///
 /// ```
-/// use torchsparse_coords::{Coord, CoordTable, GridTable};
+/// use torchsparse_coords::{Coord, CoordIndex, GridTable};
 ///
 /// let coords = [Coord::new(0, 5, -3, 2), Coord::new(0, 6, -3, 2)];
 /// let (grid, _probes) = GridTable::build(&coords, u64::MAX)?;
@@ -110,7 +110,9 @@ impl CoordTable for GridTable {
         }
         1 // exactly one DRAM access: the collision-free property
     }
+}
 
+impl CoordIndex for GridTable {
     fn query(&self, coord: Coord) -> (Option<u32>, u64) {
         match self.cell_of(coord) {
             Some(cell) => {

@@ -1,4 +1,4 @@
-use crate::table::CoordTable;
+use crate::table::{CoordIndex, CoordTable};
 use crate::Coord;
 
 /// The "conventional hashmap" of the paper (§2.1.2): open addressing with
@@ -13,7 +13,7 @@ use crate::Coord;
 /// # Example
 ///
 /// ```
-/// use torchsparse_coords::{Coord, CoordHashMap, CoordTable};
+/// use torchsparse_coords::{Coord, CoordHashMap, CoordIndex, CoordTable};
 ///
 /// let mut table = CoordHashMap::with_capacity(16);
 /// table.insert(Coord::new(0, 1, 2, 3), 7);
@@ -116,7 +116,9 @@ impl CoordTable for CoordHashMap {
         }
         self.insert_inner(coord, index)
     }
+}
 
+impl CoordIndex for CoordHashMap {
     fn query(&self, coord: Coord) -> (Option<u32>, u64) {
         let mut slot = (coord.fnv1a() as usize) & self.mask;
         let mut probes = 0;

@@ -7,7 +7,7 @@
 //! statistics behind the paper's grouping study (Figure 12).
 
 use crate::offsets::{self, kernel_offsets};
-use crate::table::{CoordTable, MappingStats};
+use crate::table::{CoordIndex, MappingStats};
 use crate::{Coord, CoordsError};
 use torchsparse_runtime::{Task, ThreadPool};
 
@@ -20,18 +20,33 @@ pub struct MapEntry {
     pub output: u32,
 }
 
-/// The kernel map `M` for one sparse convolution layer.
+/// The kernel map `M` for one sparse convolution layer, stored in CSR form:
+/// one flat entry array plus `K^3 + 1` range bounds, one range per kernel
+/// offset (TorchSparse++-style kernel-map compression). [`KernelMap::entries`]
+/// returns the offset's range as a slice into the flat array, so consumers
+/// are layout-agnostic; the CSR form removes the per-offset `Vec` headers
+/// and allocator slack of the former ragged `Vec<Vec<MapEntry>>` and makes
+/// the frozen-plan memory accounting exact.
+///
+/// Forward searches append entries in output-index-ascending order within
+/// each offset, so for forward maps every CSR range is already sorted by
+/// output row — the property `core`'s fused-execution ordering exploits to
+/// chunk ranges as slice views instead of re-sorting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelMap {
     kernel_size: usize,
     stride: i32,
-    per_offset: Vec<Vec<MapEntry>>,
+    /// All entries, offset-major (offset `n`'s entries are contiguous).
+    entries: Vec<MapEntry>,
+    /// CSR bounds: offset `n` owns `entries[bounds[n]..bounds[n + 1]]`.
+    bounds: Vec<u32>,
     /// Memory accesses spent building this map.
     pub stats: MappingStats,
 }
 
 impl KernelMap {
-    /// Creates a kernel map from raw per-offset entry lists.
+    /// Creates a kernel map from raw per-offset entry lists (flattened into
+    /// the CSR layout).
     ///
     /// # Errors
     ///
@@ -53,7 +68,15 @@ impl KernelMap {
         if per_offset.len() != offsets::kernel_volume(kernel_size) {
             return Err(CoordsError::EmptyCoordinates);
         }
-        Ok(KernelMap { kernel_size, stride, per_offset, stats })
+        let total: usize = per_offset.iter().map(Vec::len).sum();
+        let mut entries = Vec::with_capacity(total);
+        let mut bounds = Vec::with_capacity(per_offset.len() + 1);
+        bounds.push(0);
+        for list in &per_offset {
+            entries.extend_from_slice(list);
+            bounds.push(entries.len() as u32);
+        }
+        Ok(KernelMap { kernel_size, stride, entries, bounds, stats })
     }
 
     /// Kernel size `K`.
@@ -66,28 +89,50 @@ impl KernelMap {
         self.stride
     }
 
-    /// The entries for kernel offset index `n`.
+    /// The entries for kernel offset index `n` — a slice of the flat CSR
+    /// entry array.
     ///
     /// # Panics
     ///
     /// Panics if `n >= K^3`.
     pub fn entries(&self, n: usize) -> &[MapEntry] {
-        &self.per_offset[n]
+        &self.entries[self.bounds[n] as usize..self.bounds[n + 1] as usize]
+    }
+
+    /// The flat CSR entry array (offset-major).
+    pub fn flat_entries(&self) -> &[MapEntry] {
+        &self.entries
+    }
+
+    /// The CSR range of offset `n` within [`KernelMap::flat_entries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= K^3`.
+    pub fn entry_range(&self, n: usize) -> std::ops::Range<usize> {
+        self.bounds[n] as usize..self.bounds[n + 1] as usize
     }
 
     /// Number of kernel offsets (`K^3`).
     pub fn num_offsets(&self) -> usize {
-        self.per_offset.len()
+        self.bounds.len() - 1
     }
 
     /// Map size per offset — the paper's workload statistic (Figure 12).
     pub fn sizes(&self) -> Vec<usize> {
-        self.per_offset.iter().map(Vec::len).collect()
+        self.bounds.windows(2).map(|w| (w[1] - w[0]) as usize).collect()
     }
 
     /// Total number of map entries `|M|`.
     pub fn total_entries(&self) -> usize {
-        self.per_offset.iter().map(Vec::len).sum()
+        self.entries.len()
+    }
+
+    /// Bytes the CSR representation occupies (flat entries + range bounds),
+    /// for the frozen-plan memory accounting.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<MapEntry>()
+            + self.bounds.len() * std::mem::size_of::<u32>()) as u64
     }
 
     /// Returns the transposed map (inputs and outputs swapped, offsets
@@ -97,21 +142,32 @@ impl KernelMap {
     /// kernels there is no mirror, so entries stay at their offset (the
     /// decoder consumes them with swapped roles only).
     pub fn transposed(&self) -> KernelMap {
-        let volume = self.per_offset.len();
+        let volume = self.num_offsets();
         let mut per_offset = vec![Vec::new(); volume];
-        for (n, entries) in self.per_offset.iter().enumerate() {
+        for n in 0..volume {
             let target = if offsets::has_mirror_property(self.kernel_size) {
                 offsets::mirror_index(self.kernel_size, n)
             } else {
                 n
             };
-            per_offset[target] =
-                entries.iter().map(|e| MapEntry { input: e.output, output: e.input }).collect();
+            per_offset[target] = self
+                .entries(n)
+                .iter()
+                .map(|e| MapEntry { input: e.output, output: e.input })
+                .collect();
+        }
+        let mut entries = Vec::with_capacity(self.entries.len());
+        let mut bounds = Vec::with_capacity(volume + 1);
+        bounds.push(0);
+        for list in &per_offset {
+            entries.extend_from_slice(list);
+            bounds.push(entries.len() as u32);
         }
         KernelMap {
             kernel_size: self.kernel_size,
             stride: self.stride,
-            per_offset,
+            entries,
+            bounds,
             stats: MappingStats::default(),
         }
     }
@@ -129,7 +185,7 @@ impl KernelMap {
 /// degenerate parameters.
 pub fn search(
     out_coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
     stride: i32,
 ) -> Result<KernelMap, CoordsError> {
@@ -145,7 +201,7 @@ pub fn search(
 /// and [`CoordsError::ZeroKernelSize`] if `kernel_size == 0`.
 pub fn search_dilated(
     out_coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
     stride: i32,
     dilation: i32,
@@ -168,7 +224,7 @@ pub fn search_dilated(
 pub fn search_dilated_on(
     pool: &ThreadPool,
     out_coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
     stride: i32,
     dilation: i32,
@@ -226,7 +282,7 @@ pub fn search_dilated_on(
 /// property to exploit — callers should fall back to [`search`]).
 pub fn search_submanifold_symmetric(
     coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
 ) -> Result<KernelMap, CoordsError> {
     search_submanifold_symmetric_dilated(coords, table, kernel_size, 1)
@@ -242,7 +298,7 @@ pub fn search_submanifold_symmetric(
 /// [`CoordsError::ZeroStride`] when `dilation == 0`.
 pub fn search_submanifold_symmetric_dilated(
     coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
     dilation: i32,
 ) -> Result<KernelMap, CoordsError> {
@@ -268,7 +324,7 @@ pub fn search_submanifold_symmetric_dilated(
 pub fn search_submanifold_symmetric_dilated_on(
     pool: &ThreadPool,
     coords: &[Coord],
-    table: &dyn CoordTable,
+    table: &dyn CoordIndex,
     kernel_size: usize,
     dilation: i32,
 ) -> Result<KernelMap, CoordsError> {
@@ -515,6 +571,51 @@ mod tests {
             let parallel_sym =
                 search_submanifold_symmetric_dilated_on(&pool, &coords, &table, 3, 1).unwrap();
             assert_eq!(serial_sym, parallel_sym, "symmetric search differs at {threads} threads");
+        }
+    }
+
+    // CSR↔legacy equivalence on random ragged per-offset lists: the
+    // flattened layout must reproduce every legacy list, size, and total
+    // exactly, and survive a transpose round-trip.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn csr_roundtrip_preserves_ragged_lists(
+            raw in proptest::collection::vec(
+                proptest::collection::vec((0u32..500, 0u32..500), 0..12),
+                27..28,
+            ),
+        ) {
+            let per_offset: Vec<Vec<MapEntry>> = raw
+                .iter()
+                .map(|list| {
+                    let mut l: Vec<MapEntry> = list
+                        .iter()
+                        .map(|&(input, output)| MapEntry { input, output })
+                        .collect();
+                    // Forward searches emit output-ascending entries.
+                    l.sort_by_key(|e| (e.output, e.input));
+                    l
+                })
+                .collect();
+            let map = KernelMap::from_parts(3, 1, per_offset.clone(), MappingStats::default())
+                .map_err(|e| e.to_string())?;
+            proptest::prop_assert_eq!(map.num_offsets(), 27);
+            let total: usize = per_offset.iter().map(Vec::len).sum();
+            proptest::prop_assert_eq!(map.total_entries(), total);
+            proptest::prop_assert_eq!(map.flat_entries().len(), total);
+            for (n, legacy) in per_offset.iter().enumerate() {
+                proptest::prop_assert_eq!(map.entries(n), legacy.as_slice());
+                proptest::prop_assert_eq!(map.entry_range(n).len(), legacy.len());
+                proptest::prop_assert_eq!(map.sizes()[n], legacy.len());
+            }
+            // Transposing twice restores the original map exactly
+            // (mirror of mirror is the identity offset permutation).
+            let double = map.transposed().transposed();
+            for n in 0..27 {
+                proptest::prop_assert_eq!(double.entries(n), map.entries(n));
+            }
         }
     }
 

@@ -12,6 +12,11 @@
 //!   linear probing, counting memory probes for the cost model (§4.4).
 //! - [`GridTable`]: the collision-free grid table — exactly one memory
 //!   access per construction/query entry, at the price of dense storage.
+//! - [`MphfIndex`]: a minimal-perfect-hash index over a frozen coordinate
+//!   set (BBHash-style fingerprint cascade with rank/select bitmaps) —
+//!   the succinct index compiled sessions build at plan time.
+//! - [`fnv`]: the shared FNV-1a hasher behind spatial hashing and the
+//!   engine's geometry fingerprints.
 //! - [`downsample`]: output coordinate calculation for strided convolution
 //!   (Algorithm 3), in both the 5-stage *staged* form (DRAM-visible
 //!   intermediates, the baseline) and the *fused* single-kernel form
@@ -30,9 +35,11 @@
 mod coord;
 mod grid;
 mod hashmap;
+mod mphf;
 mod table;
 
 pub mod downsample;
+pub mod fnv;
 pub mod kernel_map;
 pub mod offsets;
 
@@ -40,7 +47,8 @@ pub use coord::Coord;
 pub use grid::GridTable;
 pub use hashmap::CoordHashMap;
 pub use kernel_map::{KernelMap, MapEntry};
-pub use table::{CoordTable, MappingStats};
+pub use mphf::MphfIndex;
+pub use table::{CoordIndex, CoordTable, MappingStats};
 
 use std::fmt;
 

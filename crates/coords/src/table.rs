@@ -36,29 +36,30 @@ impl MappingStats {
     }
 }
 
-/// A coordinate-to-index table: the data structure behind map search.
+/// A read-only coordinate-to-index lookup: the seam behind map search.
 ///
-/// Two implementations exist, matching the paper's `[grid, hashmap]`
-/// strategy space (§4.4):
+/// Three implementations exist — the paper's `[grid, hashmap]` strategy
+/// space (§4.4) plus the succinct frozen-set index used by compiled
+/// sessions:
 ///
 /// - [`crate::CoordHashMap`]: open addressing, compact but with collision
 ///   probes;
 /// - [`crate::GridTable`]: collision-free dense grid, exactly one access per
-///   operation but with bounding-box storage.
+///   operation but with bounding-box storage;
+/// - [`crate::MphfIndex`]: a minimal perfect hash built from a frozen
+///   coordinate set (rank/select bitmaps over the BBHash-style fingerprint
+///   cascade), smaller than both and collision-free by construction.
 ///
-/// Queries return the index assigned at insertion (the position of the
+/// Queries return the index assigned at construction (the position of the
 /// coordinate in the input coordinate list) together with the number of
 /// memory probes performed, so callers can attribute cost precisely.
 ///
-/// `Sync` is a supertrait because map search shares one immutable table
-/// reference across the runtime pool's worker threads (queries take `&self`
-/// and tables are plain data, so every implementation is trivially `Sync`).
-pub trait CoordTable: Sync {
-    /// Inserts a coordinate with its index; returns the number of memory
-    /// probes. Inserting a duplicate coordinate is a no-op that keeps the
-    /// first index (matching engine semantics where coordinates are unique).
-    fn insert(&mut self, coord: Coord, index: u32) -> u64;
-
+/// `Send + Sync` are supertraits because map search shares one immutable
+/// index reference across the runtime pool's worker threads, and compiled
+/// plans retain the index across streams (queries take `&self` and indices
+/// are plain data, so every implementation is trivially thread-safe).
+/// `Debug` makes the boxed index printable inside plan structures.
+pub trait CoordIndex: std::fmt::Debug + Send + Sync {
     /// Looks up a coordinate; returns the index if present and the number of
     /// memory probes performed.
     fn query(&self, coord: Coord) -> (Option<u32>, u64);
@@ -66,13 +67,27 @@ pub trait CoordTable: Sync {
     /// Number of coordinates stored.
     fn len(&self) -> usize;
 
-    /// Whether the table is empty.
+    /// Whether the index is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Bytes of device memory the table occupies (for the cost model).
+    /// Bytes of device memory the index occupies (for the cost model and
+    /// the frozen-plan memory accounting).
     fn memory_bytes(&self) -> u64;
+}
+
+/// A mutable coordinate-to-index table: a [`CoordIndex`] that also supports
+/// incremental insertion.
+///
+/// The hashmap and grid implement this; the MPHF is built from a frozen
+/// coordinate set in one shot and is query-only, which is exactly why the
+/// read path lives on the [`CoordIndex`] supertrait.
+pub trait CoordTable: CoordIndex {
+    /// Inserts a coordinate with its index; returns the number of memory
+    /// probes. Inserting a duplicate coordinate is a no-op that keeps the
+    /// first index (matching engine semantics where coordinates are unique).
+    fn insert(&mut self, coord: Coord, index: u32) -> u64;
 }
 
 #[cfg(test)]

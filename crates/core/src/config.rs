@@ -81,6 +81,31 @@ pub enum MapSearchStrategy {
     Auto,
 }
 
+/// Frozen-plan coordinate index choice: the data structure compiled plans
+/// query (and retain) for coordinate → row lookups.
+///
+/// Dynamic map search keeps using the adaptive grid/hashmap machinery of
+/// [`MapSearchStrategy`]; this knob governs what a *frozen* plan stores.
+/// Compiled sessions default to the succinct MPHF index
+/// ([`torchsparse_coords::MphfIndex`]): the coordinate set never changes
+/// after plan time, so a minimal perfect hash over it answers the same
+/// queries in a fraction of the memory. Every choice returns identical
+/// lookup results, so engine outputs are bitwise unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoordIndexChoice {
+    /// Follow the context: dynamic runs keep the [`MapSearchStrategy`]
+    /// behavior, compiled sessions resolve to [`CoordIndexChoice::Mphf`].
+    #[default]
+    Auto,
+    /// Always the open-addressing hashmap (legacy plan representation).
+    Hashmap,
+    /// Always the collision-free grid (falls back to the hashmap when the
+    /// bounding box exceeds `grid_cell_limit`, as dynamic search does).
+    Grid,
+    /// Always the BBHash-style minimal-perfect-hash index.
+    Mphf,
+}
+
 /// The full optimization configuration of one engine instance.
 ///
 /// Every toggle corresponds to a paper section; the ablation tables flip
@@ -161,6 +186,14 @@ pub struct OptimizationConfig {
     /// overrides it process-wide, with `off` restoring the historical
     /// serial-order bits for A/B comparison.
     pub exact_accumulation: bool,
+    /// Coordinate index stored inside frozen plans (see
+    /// [`CoordIndexChoice`]). `Auto` keeps dynamic runs on the adaptive
+    /// [`MapSearchStrategy`] path and gives compiled sessions the succinct
+    /// MPHF index; the `TORCHSPARSE_COORD_INDEX` environment variable
+    /// (`hashmap`/`grid`/`mphf`) overrides the field process-wide for A/B
+    /// measurement. Lookup results — and therefore engine outputs — are
+    /// bitwise identical across all choices.
+    pub coord_index: CoordIndexChoice,
 }
 
 /// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
@@ -232,6 +265,41 @@ fn parse_exact_accum_override(raw: &str) -> Result<bool, String> {
     }
 }
 
+/// Resolves the effective frozen-plan coordinate index:
+/// `TORCHSPARSE_COORD_INDEX` (`hashmap`/`grid`/`mphf`) wins over
+/// `config.coord_index`. The variable is read once per process; a
+/// set-but-unrecognized value emits a one-time warning and defers to the
+/// configuration instead of being silently ignored.
+pub fn coord_index_choice(config: &OptimizationConfig) -> CoordIndexChoice {
+    static OVERRIDE: std::sync::OnceLock<Option<CoordIndexChoice>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_COORD_INDEX").ok()?;
+        match parse_coord_index_override(&raw) {
+            Ok(forced) => Some(forced),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_COORD_INDEX", &warning);
+                None
+            }
+        }
+    });
+    forced.unwrap_or(config.coord_index)
+}
+
+/// Strictly parses a `TORCHSPARSE_COORD_INDEX` value; factored out of
+/// [`coord_index_choice`] so the policy is testable without touching
+/// process state. Unrecognized values return the warning message to emit.
+fn parse_coord_index_override(raw: &str) -> Result<CoordIndexChoice, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "hashmap" | "hash" => Ok(CoordIndexChoice::Hashmap),
+        "grid" => Ok(CoordIndexChoice::Grid),
+        "mphf" => Ok(CoordIndexChoice::Mphf),
+        _ => Err(format!(
+            "TORCHSPARSE_COORD_INDEX={raw:?} is not one of hashmap/grid/mphf; \
+             falling back to the engine configuration's coord_index field"
+        )),
+    }
+}
+
 impl OptimizationConfig {
     /// Fully optimized TorchSparse configuration.
     pub fn torchsparse() -> OptimizationConfig {
@@ -254,6 +322,7 @@ impl OptimizationConfig {
             fma_gemm: false,
             fused_execution: true,
             exact_accumulation: true,
+            coord_index: CoordIndexChoice::Auto,
         }
     }
 
@@ -285,6 +354,9 @@ impl OptimizationConfig {
             // (a *stronger* determinism guarantee, not a looser one), so
             // even the baseline uses it.
             exact_accumulation: true,
+            // The frozen-plan index changes no bits either; the baseline
+            // keeps Auto so dynamic runs match the historical hashmap path.
+            coord_index: CoordIndexChoice::Auto,
         }
     }
 
@@ -440,6 +512,36 @@ mod tests {
             let w = parse_exact_accum_override(bad).expect_err("malformed value must warn");
             assert!(w.contains("TORCHSPARSE_EXACT_ACCUM"), "warning must name the variable: {w}");
             assert!(w.contains("exact_accumulation"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn coord_index_override_parses_strictly() {
+        for (raw, expect) in [
+            ("hashmap", CoordIndexChoice::Hashmap),
+            ("HASH", CoordIndexChoice::Hashmap),
+            (" grid ", CoordIndexChoice::Grid),
+            ("Mphf", CoordIndexChoice::Mphf),
+        ] {
+            assert_eq!(parse_coord_index_override(raw), Ok(expect), "{raw:?}");
+        }
+        for bad in ["abc", "auto", "", "bbhash"] {
+            let w = parse_coord_index_override(bad).expect_err("malformed value must warn");
+            assert!(w.contains("TORCHSPARSE_COORD_INDEX"), "warning must name the variable: {w}");
+            assert!(w.contains("coord_index"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn presets_default_to_auto_coord_index() {
+        for preset in [
+            EnginePreset::TorchSparse,
+            EnginePreset::BaselineFp32,
+            EnginePreset::MinkowskiEngine,
+            EnginePreset::SpConv,
+            EnginePreset::SpConvFp16,
+        ] {
+            assert_eq!(preset.config().coord_index, CoordIndexChoice::Auto, "{}", preset.name());
         }
     }
 

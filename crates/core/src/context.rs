@@ -35,6 +35,21 @@ pub struct CachedMap {
     /// Coordinates on the coarse side (outputs of the downsample). For
     /// stride-1 layers this equals `fine_coords`.
     pub coarse_coords: Vec<Coord>,
+    /// The coordinate index the map search probed, retained so frozen plans
+    /// can report their resident footprint
+    /// ([`crate::ExecutionPlan::memory_bytes`]) and future incremental
+    /// re-plans can re-query without rebuilding the index.
+    pub index: Box<dyn torchsparse_coords::CoordIndex>,
+}
+
+impl CachedMap {
+    /// Resident bytes of this cached mapping: the CSR kernel map, the
+    /// retained coordinate index, and both coordinate lists.
+    pub fn memory_bytes(&self) -> u64 {
+        let coords =
+            (self.fine_coords.len() + self.coarse_coords.len()) * std::mem::size_of::<Coord>();
+        self.map.memory_bytes() + self.index.memory_bytes() + coords as u64
+    }
 }
 
 /// A per-request wall-clock deadline, checked at stage boundaries by the
@@ -349,6 +364,7 @@ mod tests {
             map: KernelMap::from_parts(3, 1, per_offset, Default::default()).unwrap(),
             fine_coords: vec![Coord::new(0, 0, 0, 0)],
             coarse_coords: vec![Coord::new(0, 0, 0, 0)],
+            index: Box::new(torchsparse_coords::CoordHashMap::build(&[Coord::new(0, 0, 0, 0)]).0),
         }
     }
 

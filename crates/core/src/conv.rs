@@ -273,6 +273,7 @@ impl SparseConv3d {
             map: mapping.map,
             fine_coords: coords.to_vec(),
             coarse_coords: mapping.out_coords,
+            index: mapping.index,
         };
         Ok((ctx.store_map(key, cached), false))
     }

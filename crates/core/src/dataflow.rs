@@ -163,47 +163,85 @@ const MOVE_CHUNK: usize = 64;
 /// Plan-time locality reordering for the fused dataflow: the paper's
 /// §4.3.2 locality-aware access orders, applied to the real CPU executor.
 ///
-/// For every kernel offset the map entries are re-sorted by *output* row
-/// (stable, so entry order among equal outputs is preserved) and split at
-/// [`MOVE_CHUNK`]-row output boundaries. A fused execution task that owns
-/// output rows `[c*MOVE_CHUNK, (c+1)*MOVE_CHUNK)` then streams exactly
-/// `sorted[n][starts[n][c]..starts[n][c+1]]` for each offset `n` —
-/// contiguous and without scanning the rest of the map. Because the
-/// per-offset in/out maps are partial bijections, each output row appears
-/// at most once per offset, and the per-element accumulation order
-/// (offsets ascending, one FP32 add per entry) is exactly the unfused
-/// serial engine's.
+/// For every kernel offset the map entries are viewed in *output-row*
+/// order and split at [`MOVE_CHUNK`]-row output boundaries. A fused
+/// execution task that owns output rows `[c*MOVE_CHUNK, (c+1)*MOVE_CHUNK)`
+/// then streams exactly `view(map, n).entries[starts[n][c]..starts[n][c+1]]`
+/// for each offset `n` — contiguous and without scanning the rest of the
+/// map. Because the per-offset in/out maps are partial bijections, each
+/// output row appears at most once per offset, and the per-element
+/// accumulation order (offsets ascending, one FP32 add per entry) is
+/// exactly the unfused serial engine's.
+///
+/// Forward searches emit CSR ranges already sorted by output row, so for
+/// them the order stores *only* the chunk split points and the view is the
+/// map's own CSR slice — no entry copy, no producer permutation. Only
+/// transposed decoder maps (whose mirrored ranges are input-sorted) pay a
+/// materialized stable re-sort plus the original-index permutation.
 ///
 /// Built once per [`ConvPlan`](crate::plan::ConvPlan), so compiled
-/// sessions pay the reorder once per geometry and reuse it every frame.
+/// sessions pay the (mostly metadata-only) build once per geometry and
+/// reuse it every frame.
 #[derive(Debug, Clone)]
 pub struct FusedOrder {
-    /// Per-offset map entries, stably sorted by output row.
-    sorted: Vec<Vec<MapEntry>>,
     /// Per-offset chunk split points (`chunks + 1` values each):
-    /// `starts[n][c]..starts[n][c + 1]` indexes the entries of `sorted[n]`
-    /// whose outputs land in output-row chunk `c`.
+    /// `starts[n][c]..starts[n][c + 1]` indexes the output-sorted view of
+    /// offset `n` restricted to output-row chunk `c`.
     starts: Vec<Vec<u32>>,
-    /// Per-offset original map-entry index of each sorted entry
-    /// (`sorted[n][i]` came from `map.entries(n)[orig[n][i]]`). This is the
-    /// plan-time producer index the unfused scatter needs: the original
-    /// entry index is exactly the partial-sum row the GEMM wrote, so a
-    /// scatter task can stream `psums[n].row(orig[n][i])` without ever
-    /// rebuilding per-output producer lists at execute time.
-    orig: Vec<Vec<u32>>,
+    /// Per-offset materialized re-sort, present only when the map's CSR
+    /// range is not already output-ascending: `.0` is the entries stably
+    /// sorted by output row, `.1` the original entry index of each sorted
+    /// position — exactly the partial-sum row the GEMM wrote, so a scatter
+    /// task can stream `psums[n].row(orig[i])` without rebuilding producer
+    /// lists at execute time. `None` = the CSR slice itself is the view
+    /// and the producer index is the identity.
+    resort: Vec<Option<Resort>>,
 }
 
-/// One offset's share of a [`FusedOrder`]: sorted entries, chunk split
-/// points, and original-index (producer) metadata.
-fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<MapEntry>, Vec<u32>, Vec<u32>) {
-    let mut orig: Vec<u32> = (0..src.len() as u32).collect();
+/// One offset's materialized re-sort: the entries stably sorted by output
+/// row, and the original entry index of each sorted position.
+type Resort = (Vec<MapEntry>, Vec<u32>);
+
+/// A borrowed output-sorted view of one offset's entries: the map's own
+/// CSR slice for forward (already-sorted) offsets, or the plan-time
+/// re-sorted copy for transposed ones.
+#[derive(Debug, Clone, Copy)]
+pub struct OffsetView<'a> {
+    /// The offset's entries, sorted by output row.
+    pub entries: &'a [MapEntry],
+    orig: Option<&'a [u32]>,
+}
+
+impl OffsetView<'_> {
+    /// The original map-entry index (the partial-sum producer row) of
+    /// sorted position `i`.
+    #[inline]
+    pub fn producer(&self, i: usize) -> u32 {
+        match self.orig {
+            Some(orig) => orig[i],
+            None => i as u32,
+        }
+    }
+}
+
+/// One offset's share of a [`FusedOrder`]: the chunk split points, plus the
+/// materialized re-sort when the CSR range is not already output-sorted.
+fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<u32>, Option<Resort>) {
     // Forward maps are already output-ascending; only transposed maps
     // actually pay the sort (stable, so entry order among equal outputs is
-    // preserved).
-    if !src.windows(2).all(|w| w[0].output <= w[1].output) {
+    // preserved) and the materialized copy.
+    let resort = if src.windows(2).all(|w| w[0].output <= w[1].output) {
+        None
+    } else {
+        let mut orig: Vec<u32> = (0..src.len() as u32).collect();
         orig.sort_by_key(|&i| src[i as usize].output);
-    }
-    let entries: Vec<MapEntry> = orig.iter().map(|&i| src[i as usize]).collect();
+        let entries: Vec<MapEntry> = orig.iter().map(|&i| src[i as usize]).collect();
+        Some((entries, orig))
+    };
+    let entries = match &resort {
+        Some((sorted, _)) => sorted.as_slice(),
+        None => src,
+    };
     let mut s = Vec::with_capacity(chunks + 1);
     let mut i = 0usize;
     for c in 0..chunks {
@@ -215,26 +253,24 @@ fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<MapEntry>, Vec<u32>
     }
     s.push(i as u32);
     debug_assert_eq!(i, entries.len(), "map output out of range");
-    (entries, s, orig)
+    (s, resort)
 }
 
 impl FusedOrder {
-    /// Sorts and splits `map`'s entries for a convolution producing
-    /// `n_out` output rows.
+    /// Splits `map`'s entries (and re-sorts any non-output-sorted offsets)
+    /// for a convolution producing `n_out` output rows.
     #[must_use]
     pub fn build(map: &KernelMap, n_out: usize) -> FusedOrder {
         let chunks = n_out.div_ceil(MOVE_CHUNK);
         let volume = map.num_offsets();
-        let mut sorted = Vec::with_capacity(volume);
         let mut starts = Vec::with_capacity(volume);
-        let mut orig = Vec::with_capacity(volume);
+        let mut resort = Vec::with_capacity(volume);
         for n in 0..volume {
-            let (e, s, o) = order_one_offset(map.entries(n), chunks);
-            sorted.push(e);
+            let (s, r) = order_one_offset(map.entries(n), chunks);
             starts.push(s);
-            orig.push(o);
+            resort.push(r);
         }
-        FusedOrder { sorted, starts, orig }
+        FusedOrder { starts, resort }
     }
 
     /// [`build`](FusedOrder::build) with the per-offset sort/split work
@@ -248,7 +284,7 @@ impl FusedOrder {
     pub fn build_on(pool: &ThreadPool, map: &KernelMap, n_out: usize) -> FusedOrder {
         let chunks = n_out.div_ceil(MOVE_CHUNK);
         let volume = map.num_offsets();
-        let mut slots: Vec<Option<(Vec<MapEntry>, Vec<u32>, Vec<u32>)>> = vec![None; volume];
+        let mut slots: Vec<Option<(Vec<u32>, Option<Resort>)>> = vec![None; volume];
         let tasks: Vec<Task<'_>> = slots
             .iter_mut()
             .enumerate()
@@ -257,16 +293,50 @@ impl FusedOrder {
             })
             .collect();
         pool.run(tasks);
-        let mut sorted = Vec::with_capacity(volume);
         let mut starts = Vec::with_capacity(volume);
-        let mut orig = Vec::with_capacity(volume);
+        let mut resort = Vec::with_capacity(volume);
         for slot in slots.into_iter().flatten() {
-            sorted.push(slot.0);
-            starts.push(slot.1);
-            orig.push(slot.2);
+            starts.push(slot.0);
+            resort.push(slot.1);
         }
-        debug_assert_eq!(sorted.len(), volume, "every offset task must have run");
-        FusedOrder { sorted, starts, orig }
+        debug_assert_eq!(starts.len(), volume, "every offset task must have run");
+        FusedOrder { starts, resort }
+    }
+
+    /// The chunk split points of offset `n`.
+    #[inline]
+    pub fn starts(&self, n: usize) -> &[u32] {
+        &self.starts[n]
+    }
+
+    /// The output-sorted entry view of offset `n`. `map` must be the map
+    /// this order was built from.
+    #[inline]
+    pub fn view<'a>(&'a self, map: &'a KernelMap, n: usize) -> OffsetView<'a> {
+        match &self.resort[n] {
+            Some((entries, orig)) => OffsetView { entries, orig: Some(orig) },
+            None => OffsetView { entries: map.entries(n), orig: None },
+        }
+    }
+
+    /// How many offsets carry a materialized re-sort (zero for forward
+    /// maps — the slice-view property the plan-memory accounting relies
+    /// on).
+    pub fn resorted_offsets(&self) -> usize {
+        self.resort.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Bytes this order occupies beyond the kernel map it views (for the
+    /// frozen-plan memory accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        let starts: usize = self.starts.iter().map(|s| s.len() * 4).sum();
+        let resort: usize = self
+            .resort
+            .iter()
+            .flatten()
+            .map(|(e, o)| e.len() * std::mem::size_of::<MapEntry>() + o.len() * 4)
+            .sum();
+        (starts + resort) as u64
     }
 }
 
@@ -345,6 +415,7 @@ std::thread_local! {
 /// product values through the same accumulators.
 fn exact_scatter_chunk(
     order: &FusedOrder,
+    map: &KernelMap,
     psums: &[Option<Matrix>],
     c: usize,
     c_out: usize,
@@ -360,9 +431,11 @@ fn exact_scatter_chunk(
         let base = (c * MOVE_CHUNK) as u32;
         for (n, p) in psums.iter().enumerate() {
             let Some(p) = p else { continue };
-            let lo = order.starts[n][c] as usize;
-            let hi = order.starts[n][c + 1] as usize;
-            for (e, &src) in order.sorted[n][lo..hi].iter().zip(&order.orig[n][lo..hi]) {
+            let view = order.view(map, n);
+            let lo = order.starts(n)[c] as usize;
+            let hi = order.starts(n)[c + 1] as usize;
+            for (i, e) in view.entries[lo..hi].iter().enumerate() {
+                let src = view.producer(lo + i);
                 let rel = (e.output - base) as usize * c_out;
                 // `+ 0.0` canonicalizes a -0.0 partial sum to +0.0, exactly
                 // as the fused route's zero-initialized staging tile does —
@@ -431,15 +504,17 @@ fn scatter_accumulate(
     };
     let run_chunk = |c: usize, block: &mut [f32]| {
         if exact {
-            exact_scatter_chunk(order, psums, c, c_out, block);
+            exact_scatter_chunk(order, map, psums, c, c_out, block);
             return;
         }
         let base = (c * MOVE_CHUNK) as u32;
         for (n, p) in psums.iter().enumerate() {
             let Some(p) = p else { continue };
-            let lo = order.starts[n][c] as usize;
-            let hi = order.starts[n][c + 1] as usize;
-            for (e, &src) in order.sorted[n][lo..hi].iter().zip(&order.orig[n][lo..hi]) {
+            let view = order.view(map, n);
+            let lo = order.starts(n)[c] as usize;
+            let hi = order.starts(n)[c + 1] as usize;
+            for (i, e) in view.entries[lo..hi].iter().enumerate() {
+                let src = view.producer(lo + i);
                 let rel = (e.output - base) as usize * c_out;
                 microkernel::accumulate_row(
                     kernel,
@@ -601,9 +676,9 @@ fn run_fused_numerics(
                         if Some(n) == shortcut {
                             continue;
                         }
-                        let lo = fused.starts[n][c] as usize;
-                        let hi = fused.starts[n][c + 1] as usize;
-                        let entries = &fused.sorted[n][lo..hi];
+                        let lo = fused.starts(n)[c] as usize;
+                        let hi = fused.starts(n)[c + 1] as usize;
+                        let entries = &fused.view(w.map, n).entries[lo..hi];
                         let mut i = 0;
                         while i < entries.len() {
                             let cnt = (entries.len() - i).min(MOVE_CHUNK);
@@ -645,9 +720,9 @@ fn run_fused_numerics(
             if Some(n) == shortcut {
                 continue;
             }
-            let lo = fused.starts[n][c] as usize;
-            let hi = fused.starts[n][c + 1] as usize;
-            let entries = &fused.sorted[n][lo..hi];
+            let lo = fused.starts(n)[c] as usize;
+            let hi = fused.starts(n)[c + 1] as usize;
+            let entries = &fused.view(w.map, n).entries[lo..hi];
             // One offset contributes at most MOVE_CHUNK entries per chunk
             // (outputs are unique within an offset); the sub-chunk loop
             // only guards degenerate hand-built maps.

@@ -62,8 +62,8 @@ pub mod tuning;
 pub mod validate;
 
 pub use config::{
-    exact_accum_enabled, fused_enabled, EnginePreset, GroupingStrategy, MapSearchStrategy,
-    OptimizationConfig, Precision, SimdPolicy,
+    coord_index_choice, exact_accum_enabled, fused_enabled, CoordIndexChoice, EnginePreset,
+    GroupingStrategy, MapSearchStrategy, OptimizationConfig, Precision, SimdPolicy,
 };
 pub use context::{Context, Deadline, LayerProfile, LayerWorkload, MapKey};
 pub use conv::SparseConv3d;

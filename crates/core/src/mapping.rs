@@ -14,24 +14,38 @@
 //! differ in their [`MappingStats`], which [`mapping_latency`] converts to
 //! microseconds with a small set of calibrated constants.
 
-use crate::config::{MapSearchStrategy, OptimizationConfig};
+use crate::config::{coord_index_choice, CoordIndexChoice, MapSearchStrategy, OptimizationConfig};
 use crate::faults::{DegradationReport, FaultInjector, FaultSite};
 use crate::runtime::ThreadPool;
 use crate::CoreError;
 use torchsparse_coords::downsample::{fused_output_coords, staged_output_coords, Boundary};
 use torchsparse_coords::kernel_map::{search_dilated_on, search_submanifold_symmetric_dilated_on};
 use torchsparse_coords::{
-    Coord, CoordHashMap, CoordTable, CoordsError, GridTable, KernelMap, MappingStats,
+    Coord, CoordHashMap, CoordIndex, CoordsError, GridTable, KernelMap, MappingStats, MphfIndex,
 };
 use torchsparse_gpusim::{DeviceProfile, Micros};
 
-/// Which table implementation a layer's map search used.
+/// Which coordinate index a layer's map search used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableKind {
     /// Conventional open-addressing hashmap.
     Hashmap,
     /// Collision-free grid.
     Grid,
+    /// Succinct minimal-perfect-hash index (frozen coordinate sets).
+    Mphf,
+}
+
+impl TableKind {
+    /// Probe-serialization factor of the index's query chain: hashmap probe
+    /// chains and the MPHF's level cascade are dependent loads, the grid's
+    /// single accesses pipeline freely.
+    fn serialization(self) -> f64 {
+        match self {
+            TableKind::Grid => 1.0,
+            TableKind::Hashmap | TableKind::Mphf => HASH_SERIALIZATION,
+        }
+    }
 }
 
 /// The result of building one layer's mapping.
@@ -45,6 +59,11 @@ pub struct LayerMapping {
     pub latency: Micros,
     /// Table used for the search.
     pub table: TableKind,
+    /// The coordinate index the search probed. Frozen plans retain it so
+    /// [`crate::ExecutionPlan::memory_bytes`] reflects the configured
+    /// [`CoordIndexChoice`] and future incremental re-plans can re-query
+    /// without a rebuild.
+    pub index: Box<dyn CoordIndex>,
 }
 
 /// Bytes charged per *random* table access (hash probe / grid cell): one
@@ -213,14 +232,14 @@ pub fn build_layer_mapping_observed_on(
         result.coords
     };
 
-    // 2. Table construction over the input coordinates.
-    let (table, build_stats, kind): (Box<dyn CoordTable>, MappingStats, TableKind) =
+    // 2. Index construction over the input coordinates.
+    let (index, build_stats, kind): (Box<dyn CoordIndex>, MappingStats, TableKind) =
         build_table(in_coords, config, faults, degradation)?;
     latency += stats_latency(
         &build_stats,
         device,
         true,
-        if kind == TableKind::Hashmap { HASH_SERIALIZATION } else { 1.0 },
+        kind.serialization(),
         true, // construction is a simple streaming-insert kernel in all systems
     );
 
@@ -231,22 +250,22 @@ pub fn build_layer_mapping_observed_on(
         search_submanifold_symmetric_dilated_on(
             pool,
             in_coords,
-            table.as_ref(),
+            index.as_ref(),
             kernel_size,
             dilation,
         )?
     } else {
-        search_dilated_on(pool, &out_coords, table.as_ref(), kernel_size, conv_stride, dilation)?
+        search_dilated_on(pool, &out_coords, index.as_ref(), kernel_size, conv_stride, dilation)?
     };
     latency += stats_latency(
         &map.stats,
         device,
         true,
-        if kind == TableKind::Hashmap { HASH_SERIALIZATION } else { 1.0 },
+        kind.serialization(),
         config.simplified_mapping_kernels,
     );
 
-    Ok(LayerMapping { map, out_coords, latency, table: kind })
+    Ok(LayerMapping { map, out_coords, latency, table: kind, index })
 }
 
 fn build_table(
@@ -254,18 +273,42 @@ fn build_table(
     config: &OptimizationConfig,
     faults: &mut FaultInjector,
     degradation: &mut DegradationReport,
-) -> Result<(Box<dyn CoordTable>, MappingStats, TableKind), CoreError> {
+) -> Result<(Box<dyn CoordIndex>, MappingStats, TableKind), CoreError> {
     let hash = |coords: &[Coord]| {
         let (t, probes) = CoordHashMap::build(coords);
         let stats = MappingStats { reads: 0, writes: probes, kernel_launches: 1, candidate_ops: 0 };
-        (Box::new(t) as Box<dyn CoordTable>, stats, TableKind::Hashmap)
+        (Box::new(t) as Box<dyn CoordIndex>, stats, TableKind::Hashmap)
     };
-    if config.map_search == MapSearchStrategy::Hashmap {
-        return Ok(hash(coords));
+    match coord_index_choice(config) {
+        CoordIndexChoice::Hashmap => return Ok(hash(coords)),
+        CoordIndexChoice::Mphf => {
+            return match MphfIndex::build(coords) {
+                Ok((t, accesses)) => {
+                    let stats = MappingStats {
+                        reads: 0,
+                        writes: accesses,
+                        kernel_launches: 1,
+                        candidate_ops: 0,
+                    };
+                    Ok((Box::new(t) as Box<dyn CoordIndex>, stats, TableKind::Mphf))
+                }
+                // Duplicate coordinates have no perfect hash; keep the
+                // hashmap's keep-first semantics so lookups are unchanged.
+                Err(CoordsError::DuplicateCoordinate(_)) => Ok(hash(coords)),
+                Err(e) => Err(e.into()),
+            };
+        }
+        // Auto with a hashmap search strategy: the legacy dynamic path.
+        CoordIndexChoice::Auto if config.map_search == MapSearchStrategy::Hashmap => {
+            return Ok(hash(coords));
+        }
+        // Grid (forced) or Auto with grid/auto search: try the dense grid
+        // below.
+        CoordIndexChoice::Grid | CoordIndexChoice::Auto => {}
     }
-    // Grid or Auto: try the dense grid, degrade to the hashmap when
-    // construction fails (SpConv-style engines do the same silently; here
-    // the fallback is recorded so operators can see it happened).
+    // Try the dense grid, degrade to the hashmap when construction fails
+    // (SpConv-style engines do the same silently; here the fallback is
+    // recorded so operators can see it happened).
     let forced = faults.should_fail(FaultSite::GridTableBuild);
     let attempt = if forced {
         Err(CoordsError::GridTooLarge { cells: u64::MAX, limit: config.grid_cell_limit })
@@ -273,7 +316,7 @@ fn build_table(
         GridTable::build(coords, config.grid_cell_limit).map(|(t, accesses)| {
             let stats =
                 MappingStats { reads: 0, writes: accesses, kernel_launches: 1, candidate_ops: 0 };
-            (Box::new(t) as Box<dyn CoordTable>, stats, TableKind::Grid)
+            (Box::new(t) as Box<dyn CoordIndex>, stats, TableKind::Grid)
         })
     };
     match attempt {
@@ -310,6 +353,13 @@ mod tests {
 
     fn device() -> DeviceProfile {
         DeviceProfile::rtx_2080ti()
+    }
+
+    /// The process-wide `TORCHSPARSE_COORD_INDEX` override wins over the
+    /// `map_search`/`coord_index` fields some tests below pin; any forced
+    /// value invalidates their table-kind premises, so they skip.
+    fn coord_index_forced() -> bool {
+        std::env::var("TORCHSPARSE_COORD_INDEX").is_ok()
     }
 
     #[test]
@@ -369,6 +419,9 @@ mod tests {
 
     #[test]
     fn grid_faster_than_hashmap() {
+        if coord_index_forced() {
+            return;
+        }
         // §6.3: grid-based search beats the conventional hashmap (2.7x on
         // large scenes; launch overhead shrinks the gap at this test size).
         let coords = coords_blob(96);
@@ -421,6 +474,9 @@ mod tests {
 
     #[test]
     fn auto_falls_back_to_hashmap_for_huge_boxes() {
+        if coord_index_forced() {
+            return;
+        }
         let mut coords = coords_blob(4);
         coords.push(Coord::new(0, 100_000, 100_000, 100_000));
         let mut cfg = OptimizationConfig::torchsparse();
@@ -431,6 +487,9 @@ mod tests {
 
     #[test]
     fn organic_grid_fallback_is_recorded() {
+        if coord_index_forced() {
+            return;
+        }
         let mut coords = coords_blob(4);
         coords.push(Coord::new(0, 100_000, 100_000, 100_000));
         let mut cfg = OptimizationConfig::torchsparse();
@@ -455,6 +514,9 @@ mod tests {
 
     #[test]
     fn injected_grid_fault_degrades_and_produces_same_map() {
+        if coord_index_forced() {
+            return;
+        }
         let coords = coords_blob(8);
         let cfg = OptimizationConfig::torchsparse();
         let healthy = build_layer_mapping(&coords, 3, 1, &cfg, &device()).unwrap();
@@ -489,6 +551,9 @@ mod tests {
 
     #[test]
     fn hashmap_strategy_never_probes_grid_fault() {
+        if coord_index_forced() {
+            return;
+        }
         let coords = coords_blob(6);
         let mut cfg = OptimizationConfig::baseline_fp32();
         cfg.map_search = MapSearchStrategy::Hashmap;

@@ -142,6 +142,16 @@ impl ConvPlan {
         }
     }
 
+    /// Resident bytes of this convolution's frozen geometry state: the
+    /// shared cached mapping (CSR map + coordinate index + coordinate
+    /// lists), the flipped map of a transposed layer, and the locality
+    /// order's metadata. Packed weights are excluded — they belong to the
+    /// layer, not the plan.
+    fn memory_bytes(&self) -> u64 {
+        let flipped = self.flipped.as_ref().map_or(0, KernelMap::memory_bytes);
+        self.cached.memory_bytes() + flipped + self.fused.memory_bytes()
+    }
+
     /// The output coordinate list.
     pub(crate) fn out_coords(&self) -> &[Coord] {
         if self.use_fine {
@@ -221,13 +231,48 @@ impl ExecutionPlan {
     pub fn num_steps(&self) -> usize {
         self.steps.len()
     }
+
+    /// Resident bytes of the plan's frozen geometry state: every step's
+    /// kernel maps (CSR entries + bounds), retained coordinate indexes,
+    /// coordinate lists, and locality-order metadata.
+    ///
+    /// Steps sharing one [`CachedMap`] (convolution and pooling layers with
+    /// the same map key, or a UNet encoder/decoder pair) count it once.
+    pub fn memory_bytes(&self) -> u64 {
+        fn charge_shared(counted: &mut Vec<*const CachedMap>, cached: &Arc<CachedMap>) -> u64 {
+            let shared = Arc::as_ptr(cached);
+            if counted.contains(&shared) {
+                0
+            } else {
+                counted.push(shared);
+                cached.memory_bytes()
+            }
+        }
+        let mut counted: Vec<*const CachedMap> = Vec::new();
+        let mut total = 0u64;
+        for step in &self.steps {
+            match step {
+                StepPlan::Conv(p) | StepPlan::Residual { projection: Some(p) } => {
+                    // Per-plan extras (flipped map, locality order) always
+                    // count; the shared cached mapping only on first sight.
+                    total += p.memory_bytes() - p.cached.memory_bytes();
+                    total += charge_shared(&mut counted, &p.cached);
+                }
+                StepPlan::Pool(p) => total += charge_shared(&mut counted, &p.cached),
+                _ => {}
+            }
+        }
+        total
+    }
 }
 
 /// Plan-reuse counters of a [`CompiledSession`](crate::CompiledSession).
 ///
 /// `misses` counts plan builds (the initial compile and every re-plan);
 /// `hits` counts executes that reused the frozen plan; `invalidations`
-/// counts executes whose input fingerprint mismatched, forcing a re-plan.
+/// counts executes whose input fingerprint mismatched, forcing a re-plan;
+/// `plan_bytes` reports the resident footprint
+/// ([`ExecutionPlan::memory_bytes`]) of the plan currently in the slot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Executes that reused the frozen plan.
@@ -236,6 +281,9 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Executes whose geometry fingerprint mismatched the plan.
     pub invalidations: u64,
+    /// Resident bytes of the plan currently in the slot (maps, coordinate
+    /// indexes, coordinate lists, locality orders).
+    pub plan_bytes: u64,
 }
 
 /// Fingerprints input geometry: a streaming FNV-1a hash over the tensor
@@ -246,25 +294,16 @@ pub struct PlanCacheStats {
 /// reuses its frozen plan; a mismatch triggers re-planning. Feature values
 /// never enter the hash — plans depend on geometry alone.
 pub fn geometry_fingerprint(coords: &[Coord], stride: i32) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: i32| {
-        // Hash all four bytes of each component.
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    mix(stride);
-    mix(coords.len() as i32);
+    let mut h = torchsparse_coords::fnv::Fnv1a::new();
+    h.write_i32(stride);
+    h.write_i32(coords.len() as i32);
     for c in coords {
-        mix(c.batch);
-        mix(c.x);
-        mix(c.y);
-        mix(c.z);
+        h.write_i32(c.batch);
+        h.write_i32(c.x);
+        h.write_i32(c.y);
+        h.write_i32(c.z);
     }
-    h
+    h.finish()
 }
 
 #[cfg(test)]

@@ -122,6 +122,7 @@ impl SparseMaxPool3d {
                         map: mapping.map,
                         fine_coords: coords.to_vec(),
                         coarse_coords: mapping.out_coords,
+                        index: mapping.index,
                     },
                 )
             }

@@ -25,7 +25,7 @@
 //! and cache stats). [`CompiledSession`] remains the single-stream
 //! composition of the two; [`CompiledSession::into_parts`] opens it up.
 
-use crate::config::OptimizationConfig;
+use crate::config::{CoordIndexChoice, OptimizationConfig};
 use crate::context::Context;
 use crate::engine::Engine;
 use crate::faults::DegradationReport;
@@ -129,7 +129,10 @@ impl<'m> CompiledModel<'m> {
         Ok(StreamState {
             engine,
             plan: Some(self.base_plan.clone()),
-            stats: PlanCacheStats::default(),
+            stats: PlanCacheStats {
+                plan_bytes: self.base_plan.memory_bytes(),
+                ..PlanCacheStats::default()
+            },
             planning: Timeline::new(),
             planning_degradation: DegradationReport::new(),
         })
@@ -188,6 +191,7 @@ impl<'m> CompiledModel<'m> {
             Some(p) => p.clone(),
             None => self.base_plan.clone(),
         };
+        stream.stats.plan_bytes = plan.memory_bytes();
         run_steps(&self.ops, &plan, tensor, stream.engine.context_mut())
     }
 
@@ -298,6 +302,13 @@ impl<'m> CompiledSession<'m> {
         let ops = tracer.into_ops();
 
         let ctx = engine.context_mut();
+        // Compiled sessions freeze their coordinate sets at plan time, so
+        // `Auto` resolves to the succinct MPHF index here — on the session's
+        // own config copy, which new streams and private re-plans inherit.
+        // Dynamic runs (and explicit Hashmap/Grid choices) are unaffected.
+        if ctx.config.coord_index == CoordIndexChoice::Auto {
+            ctx.config.coord_index = CoordIndexChoice::Mphf;
+        }
         ctx.begin_run();
         let sanitized = {
             let Context { config, faults, degradation, .. } = ctx;
@@ -316,8 +327,13 @@ impl<'m> CompiledSession<'m> {
             shared: CompiledModel { ops, base_plan: base_plan.clone(), config, device },
             stream: StreamState {
                 engine,
+                stats: PlanCacheStats {
+                    hits: 0,
+                    misses: 1,
+                    invalidations: 0,
+                    plan_bytes: base_plan.memory_bytes(),
+                },
                 plan: Some(base_plan),
-                stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
                 planning,
                 planning_degradation,
             },
@@ -673,7 +689,9 @@ mod tests {
         let mut session = engine().compile(&m, &a).unwrap();
         session.execute(&a).unwrap();
         let y = session.execute(&b).unwrap();
-        assert_eq!(session.stats(), PlanCacheStats { hits: 1, misses: 2, invalidations: 1 });
+        let s = session.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+        assert!(s.plan_bytes > 0, "a frozen plan has a resident footprint");
         let mut dynamic = engine();
         let expected = dynamic.run(&m, &b).unwrap();
         assert_eq!(expected.feats(), y.feats(), "replanned output must match dynamic");
@@ -734,7 +752,9 @@ mod tests {
         let b: Vec<u32> = got.feats().as_slice().iter().map(|v| v.to_bits()).collect();
         assert_eq!(a, b, "a fresh stream must reproduce the session bitwise");
         // The fresh stream rode the shared plan: a hit, no build.
-        assert_eq!(stream.stats(), PlanCacheStats { hits: 1, misses: 0, invalidations: 0 });
+        let s = stream.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 0, 0));
+        assert_eq!(s.plan_bytes, shared.base_plan().memory_bytes());
     }
 
     #[test]
@@ -757,17 +777,20 @@ mod tests {
         assert_eq!(shared.base_plan().fingerprint, base_fp);
         shared.execute_on(&mut s1, &a).unwrap();
         // misses:1 is the compile-time build this stream inherited.
-        assert_eq!(s1.stats(), PlanCacheStats { hits: 1, misses: 1, invalidations: 0 });
+        let s = s1.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 0));
 
         // Interleaving keeps each stream on its own plan: stream 2's next
         // frame of geometry b is a hit, not a rebuild.
         shared.execute_on(&mut s2, &b).unwrap();
-        assert_eq!(s2.stats(), PlanCacheStats { hits: 1, misses: 1, invalidations: 1 });
+        let s = s2.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 1, 1));
 
         // Returning to the compile-time geometry re-attaches to the shared
         // plan without a rebuild (hit + invalidation, no miss).
         shared.execute_on(&mut s2, &a).unwrap();
-        assert_eq!(s2.stats(), PlanCacheStats { hits: 2, misses: 1, invalidations: 2 });
+        let s = s2.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (2, 1, 2));
         assert_eq!(s2.plan().map(|p| p.fingerprint), Some(base_fp));
     }
 

@@ -41,6 +41,10 @@ pub struct StreamHealth {
     /// [`DegradationReport::snapshot`] at service shutdown — a per-window
     /// delta, not a process-lifetime counter.
     pub degradation: DegradationReport,
+    /// Resident bytes of the frozen plan in this stream's slot at window
+    /// close (`PlanCacheStats::plan_bytes`): the shared compile-time plan
+    /// for streams that rode it, or the stream's private re-plan.
+    pub plan_bytes: u64,
 }
 
 /// Service-wide health counters plus the per-stream rollup.
@@ -70,6 +74,11 @@ pub struct HealthReport {
     /// Union of every stream's degradation window, merged by
     /// `(site, cause)`.
     pub degradation: DegradationReport,
+    /// Total resident plan bytes across every stream's slot. Streams
+    /// sharing the compile-time plan each count their view (the number a
+    /// per-stream memory budget sees), so this is an upper bound on
+    /// process-level plan memory.
+    pub plan_bytes: u64,
     /// Per-stream health, indexed by stream.
     pub streams: Vec<StreamHealth>,
 }
@@ -79,7 +88,8 @@ impl fmt::Display for HealthReport {
         write!(
             f,
             "admitted {} | shed {} | rejected {} | completed {} | failed {} | retried {} | \
-             quarantined {} | rebuilt {} | deadline-missed {} | max-queue-depth {}",
+             quarantined {} | rebuilt {} | deadline-missed {} | max-queue-depth {} | \
+             plan-bytes {}",
             self.admitted,
             self.shed,
             self.rejected,
@@ -90,6 +100,7 @@ impl fmt::Display for HealthReport {
             self.rebuilt,
             self.deadline_missed,
             self.max_queue_depth,
+            self.plan_bytes,
         )?;
         if !self.degradation.is_empty() {
             write!(f, " | degradation: {}", self.degradation)?;

@@ -336,6 +336,7 @@ fn worker(shared: &SharedState, model: &CompiledModel<'_>, stream_idx: usize) {
         failed: 0,
         quarantined: 0,
         degradation: DegradationReport::new(),
+        plan_bytes: 0,
     };
     let Some(queue) = shared.queues.get(stream_idx) else { return };
     while let Some(req) = queue.pop() {
@@ -358,6 +359,7 @@ fn worker(shared: &SharedState, model: &CompiledModel<'_>, stream_idx: usize) {
         });
     }
     health.degradation = window.snapshot();
+    health.plan_bytes = slot.as_ref().map_or(0, |s| s.stats().plan_bytes);
     lock(&shared.stream_health).push(health);
 }
 
@@ -427,10 +429,12 @@ pub fn serve<R>(
         deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
         max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
         degradation: DegradationReport::new(),
+        plan_bytes: 0,
         streams: Vec::new(),
     };
     for s in &streams_health {
         health.degradation.merge(&s.degradation);
+        health.plan_bytes += s.plan_bytes;
     }
     health.streams = streams_health;
     Ok((driver_result, ServiceOutcome { health, completions }))
@@ -441,8 +445,7 @@ mod tests {
     use super::*;
     use torchsparse_coords::Coord;
     use torchsparse_core::{
-        Engine, EnginePreset, PlanCacheStats, ReLU, Sequential, SparseConv3d, ValidationConfig,
-        ValidationPolicy,
+        Engine, EnginePreset, ReLU, Sequential, SparseConv3d, ValidationConfig, ValidationPolicy,
     };
     use torchsparse_gpusim::DeviceProfile;
     use torchsparse_tensor::Matrix;
@@ -654,11 +657,13 @@ mod tests {
 
         let mut solo_b = shared.new_stream().unwrap();
         let expected_b = bits(&shared.execute_on(&mut solo_b, &b).unwrap());
+        let s = solo_b.stats();
         assert_eq!(
-            solo_b.stats(),
-            PlanCacheStats { hits: 0, misses: 1, invalidations: 1 },
+            (s.hits, s.misses, s.invalidations),
+            (0, 1, 1),
             "geometry b must re-plan once solo"
         );
+        assert!(s.plan_bytes > 0, "the private re-plan has a resident footprint");
 
         let frames = 4u64;
         let (_, outcome) = serve(&shared, 2, &ServiceConfig::default(), |svc| {

@@ -186,6 +186,12 @@ fn workspace_buffers_recycled_across_forward_passes() {
 /// bit-exact output at 1 and 4 threads.
 #[test]
 fn grid_table_fault_fallback_identical_under_parallel_runtime() {
+    // The `TORCHSPARSE_COORD_INDEX` override wins over the preset's map
+    // search; forcing a non-grid index leaves the armed grid faults
+    // nothing to fire on.
+    if matches!(std::env::var("TORCHSPARSE_COORD_INDEX").ok().as_deref(), Some(v) if v != "grid") {
+        return;
+    }
     let sites: Vec<(i32, i32, i32)> =
         (0..150).map(|i| ((i * 7) % 9, (i * 3) % 8, (i * 5) % 7)).collect();
     let x = tensor_from(&sites, 4, 3);
