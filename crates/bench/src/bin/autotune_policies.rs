@@ -1,0 +1,215 @@
+//! Per-layer policy autotuning benchmark: cold search vs. warm start vs.
+//! autotune-off defaults.
+//!
+//! At three geometry scales of the nuScenes stream, compiles the same
+//! MinkUNet three ways — defaults (autotune off), a cold policy search
+//! against an empty tuning database, and a warm start against the database
+//! the cold search just wrote — then replays a geometry-static stream
+//! through each. Asserts every variant is bitwise identical, that the warm
+//! start performed **zero** candidate measurements, and that tuned
+//! steady-state frame time is never worse than the defaults (geomean >=
+//! 1.0x, at least one scale >= 1.1x). Writes `BENCH_tuning.json`.
+//!
+//! Usage: `cargo run --release -p torchsparse-bench --bin autotune_policies
+//! [--scenes N] [--seed N] [--out PATH]`
+
+use std::time::Instant;
+use torchsparse_bench::{build_model, dataset_for, fmt, geomean, BenchArgs};
+use torchsparse_core::{DeviceProfile, Engine, EnginePreset, OptimizationConfig, SparseTensor};
+use torchsparse_data::geometry_static_stream;
+use torchsparse_models::BenchmarkModel;
+
+const JITTER: f32 = 0.02;
+const SCALES: [f64; 3] = [0.05, 0.15, 0.45];
+
+fn config(db: Option<&std::path::Path>) -> OptimizationConfig {
+    let mut cfg = EnginePreset::TorchSparse.config();
+    cfg.autotune_policies = db.is_some();
+    cfg.tune_db = db.map(std::path::Path::to_path_buf);
+    cfg
+}
+
+fn bits(t: &SparseTensor) -> Vec<u32> {
+    t.feats().as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+struct ScaleResult {
+    scale: f64,
+    points: usize,
+    default_ms: f64,
+    tuned_ms: f64,
+    cold_compile_ms: f64,
+    warm_compile_ms: f64,
+    cold_measured: usize,
+    warm_started: usize,
+    tuned_layers: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse(0.0, 6);
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_tuning.json".to_owned());
+
+    let bm = BenchmarkModel::MinkUNetNuScenes1;
+    let model = build_model(bm, args.seed);
+    let db = std::env::temp_dir().join(format!(
+        "ts-bench-tune-{}-{}.json",
+        std::process::id(),
+        args.seed
+    ));
+    let _ = std::fs::remove_file(&db);
+
+    println!("== Per-layer policy autotuning: {} ({} frames/scale) ==\n", bm.name(), args.scenes);
+
+    let mut results = Vec::new();
+    for scale in SCALES {
+        let ds = dataset_for(bm, scale);
+        let base = ds.scene(args.seed)?;
+        let frames = geometry_static_stream(&base, args.scenes, JITTER, args.seed)?;
+
+        // Defaults: autotune off, the global configuration's knobs.
+        let mut off = Engine::with_config(config(None), DeviceProfile::rtx_2080ti())
+            .compile(model.as_ref(), &frames[0])?;
+        assert!(off.tuning_report().is_none(), "autotune off must not search");
+        let mut default_ms = Vec::with_capacity(frames.len());
+        let mut expected: Vec<Vec<u32>> = Vec::with_capacity(frames.len());
+        for frame in &frames {
+            expected.push(bits(&off.execute(frame)?));
+            default_ms.push(off.last_latency().as_f64() / 1e3);
+        }
+
+        // Cold search: empty database for this scale's geometry class.
+        let start = Instant::now();
+        let mut cold = Engine::with_config(config(Some(&db)), DeviceProfile::rtx_2080ti())
+            .compile(model.as_ref(), &frames[0])?;
+        let cold_compile_ms = start.elapsed().as_secs_f64() * 1e3;
+        let cold_report = cold.tuning_report().cloned().unwrap_or_default();
+        let mut tuned_ms = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            let y = cold.execute(frame)?;
+            tuned_ms.push(cold.last_latency().as_f64() / 1e3);
+            assert_eq!(bits(&y), expected[i], "scale {scale} frame {i}: tuned must match defaults");
+        }
+
+        // Warm start: the database now holds this geometry class.
+        let start = Instant::now();
+        let mut warm = Engine::with_config(config(Some(&db)), DeviceProfile::rtx_2080ti())
+            .compile(model.as_ref(), &frames[0])?;
+        let warm_compile_ms = start.elapsed().as_secs_f64() * 1e3;
+        let warm_report = warm.tuning_report().cloned().unwrap_or_default();
+        assert_eq!(
+            warm_report.candidates_measured, 0,
+            "scale {scale}: a warm-started session must measure nothing"
+        );
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                bits(&warm.execute(frame)?),
+                expected[i],
+                "scale {scale} frame {i}: warm start must match defaults"
+            );
+        }
+
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        results.push(ScaleResult {
+            scale,
+            points: base.len(),
+            default_ms: mean(&default_ms),
+            tuned_ms: mean(&tuned_ms),
+            cold_compile_ms,
+            warm_compile_ms,
+            cold_measured: cold_report.candidates_measured,
+            warm_started: warm_report.warm_started,
+            tuned_layers: cold_report.policies.len(),
+        });
+    }
+    let _ = std::fs::remove_file(&db);
+
+    let speedups: Vec<f64> = results.iter().map(|r| r.default_ms / r.tuned_ms).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(&speedups)
+        .map(|(r, &s)| {
+            vec![
+                format!("{}", r.scale),
+                r.points.to_string(),
+                r.tuned_layers.to_string(),
+                r.cold_measured.to_string(),
+                r.warm_started.to_string(),
+                format!("{:.1}", r.cold_compile_ms),
+                format!("{:.1}", r.warm_compile_ms),
+                format!("{:.3}", r.default_ms),
+                format!("{:.3}", r.tuned_ms),
+                fmt::speedup(s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        fmt::table(
+            &[
+                "scale",
+                "points",
+                "tuned layers",
+                "cold measured",
+                "warm hits",
+                "cold compile ms",
+                "warm compile ms",
+                "default ms",
+                "tuned ms",
+                "speedup",
+            ],
+            &rows
+        )
+    );
+    let g = geomean(&speedups);
+    let best = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\ngeomean speedup {g:.3}x | best scale {best:.3}x | all outputs bitwise identical");
+
+    assert!(g >= 1.0, "tuned must never be slower than defaults overall (geomean {g:.4})");
+    assert!(best >= 1.1, "at least one scale must gain >= 1.1x (best {best:.4})");
+    assert!(
+        results.iter().any(|r| r.cold_measured > 0),
+        "at least one scale must be above the measurement floor"
+    );
+    assert!(
+        results.iter().all(|r| r.cold_measured == 0 || r.warm_started > 0),
+        "every measured scale must warm-start on the second compile"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", bm.name()));
+    json.push_str(&format!("  \"frames_per_scale\": {},\n", args.scenes));
+    json.push_str("  \"bitwise_identical\": true,\n");
+    json.push_str("  \"scales\": [\n");
+    for (i, (r, &s)) in results.iter().zip(&speedups).enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": {}, \"points\": {}, \"tuned_layers\": {}, \
+             \"cold_candidates_measured\": {}, \"warm_candidates_measured\": 0, \
+             \"warm_started\": {}, \"cold_compile_ms\": {:.3}, \"warm_compile_ms\": {:.3}, \
+             \"default_frame_ms\": {:.4}, \"tuned_frame_ms\": {:.4}, \"speedup\": {:.4}}}{}\n",
+            r.scale,
+            r.points,
+            r.tuned_layers,
+            r.cold_measured,
+            r.warm_started,
+            r.cold_compile_ms,
+            r.warm_compile_ms,
+            r.default_ms,
+            r.tuned_ms,
+            s,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"geomean_speedup\": {g:.4},\n"));
+    json.push_str(&format!("  \"best_scale_speedup\": {best:.4}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -65,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, fused) in [false, true].into_iter().enumerate() {
         let mut cfg = OptimizationConfig::torchsparse();
         cfg.fused_execution = fused;
+        // The autotuner selects the fused route per layer — the very knob
+        // this A/B pins — so it stays off here.
+        cfg.autotune_policies = false;
         let mut session = Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
             .compile(model.as_ref(), &frames[0])?;
         session.execute(&frames[0])?; // warm workspaces and packed weights

@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         Variant {
             label: "simd+packed+fma",
-            opts: GemmOpts { kernel: Some(active.with_fma()), fma: true },
+            opts: GemmOpts { kernel: Some(active.with_fma()), fma: true, panel_rows: None },
             packed: true,
             deterministic: false,
         },
@@ -218,6 +218,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, policy) in [SimdPolicy::Scalar, SimdPolicy::Auto].into_iter().enumerate() {
         let mut cfg = OptimizationConfig::torchsparse();
         cfg.simd = policy;
+        // The A/B isolates the kernel choice; keep the autotuner from
+        // varying other policy axes (fused route, chunking) between arms.
+        cfg.autotune_policies = false;
         let mut session = Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
             .compile(model.as_ref(), &frames[0])?;
         session.execute(&frames[0])?; // warm workspaces

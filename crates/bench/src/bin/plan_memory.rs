@@ -104,6 +104,9 @@ fn measure_plans(scale: f64, seed: u64) -> Result<PlanRows, Box<dyn std::error::
     ] {
         let mut cfg = EnginePreset::TorchSparse.config();
         cfg.coord_index = choice;
+        // Keep footprints comparable across index choices: the autotuner
+        // may re-chunk locality orders, which perturbs plan bytes.
+        cfg.autotune_policies = false;
         let mut session = Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
             .compile(model.as_ref(), &input)?;
         session.execute(&input)?;

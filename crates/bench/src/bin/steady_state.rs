@@ -21,7 +21,12 @@ use torchsparse_models::BenchmarkModel;
 const JITTER: f32 = 0.02;
 
 fn engine() -> Engine {
-    Engine::new(EnginePreset::TorchSparse, DeviceProfile::rtx_2080ti())
+    let mut cfg = EnginePreset::TorchSparse.config();
+    // This bench isolates plan reuse: the dynamic arm cannot autotune, so
+    // the compiled arm must not either (the `autotune_policies` bench
+    // measures the tuned-vs-default delta separately).
+    cfg.autotune_policies = false;
+    Engine::with_config(cfg, DeviceProfile::rtx_2080ti())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

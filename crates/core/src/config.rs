@@ -194,6 +194,23 @@ pub struct OptimizationConfig {
     /// measurement. Lookup results — and therefore engine outputs — are
     /// bitwise identical across all choices.
     pub coord_index: CoordIndexChoice,
+    /// Run the per-layer execution-policy search at
+    /// [`Engine::compile`](crate::Engine::compile) time: each traced conv
+    /// layer gets an [`ExecPolicy`](crate::tuning::ExecPolicy) (grouping
+    /// ε/S, fused route, SIMD kernel, gather/scatter chunk rows, GEMM panel
+    /// rows) chosen by a cost-model prune followed by wall-clock microbench
+    /// refinement on the layer's actual kernel map. Every candidate policy
+    /// is bitwise-neutral, so this only changes speed; the
+    /// `TORCHSPARSE_AUTOTUNE` environment variable (`off`/`on`) overrides
+    /// the field process-wide. Defaults on in every preset.
+    pub autotune_policies: bool,
+    /// Location of the persistent tuning database (versioned JSON, written
+    /// atomically) that lets later sessions and serving replicas warm-start
+    /// the policy search with zero measurements. `None` resolves to
+    /// `$TORCHSPARSE_TUNE_DB`, else `$XDG_CACHE_HOME/torchsparse/` (or
+    /// `$HOME/.cache/torchsparse/`); when no location resolves, tuning
+    /// still runs but winners are not persisted.
+    pub tune_db: Option<std::path::PathBuf>,
 }
 
 /// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
@@ -202,8 +219,17 @@ pub struct OptimizationConfig {
 /// per process; a set-but-unrecognized value emits a one-time warning and
 /// defers to the configuration instead of being silently ignored.
 pub fn fused_enabled(config: &OptimizationConfig) -> bool {
+    fused_override().unwrap_or(config.fused_execution)
+}
+
+/// The process-wide `TORCHSPARSE_FUSED` override, if a valid value is set.
+/// Policy-aware callers (the dataflow executors) consult this directly so
+/// the env override outranks a plan's tuned
+/// [`ExecPolicy`](crate::tuning::ExecPolicy), which in turn outranks
+/// `config.fused_execution`.
+pub(crate) fn fused_override() -> Option<bool> {
     static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
-    let forced = OVERRIDE.get_or_init(|| {
+    *OVERRIDE.get_or_init(|| {
         let raw = std::env::var("TORCHSPARSE_FUSED").ok()?;
         match parse_fused_override(&raw) {
             Ok(forced) => Some(forced),
@@ -212,8 +238,7 @@ pub fn fused_enabled(config: &OptimizationConfig) -> bool {
                 None
             }
         }
-    });
-    forced.unwrap_or(config.fused_execution)
+    })
 }
 
 /// Strictly parses a `TORCHSPARSE_FUSED` value; factored out of
@@ -300,6 +325,91 @@ fn parse_coord_index_override(raw: &str) -> Result<CoordIndexChoice, String> {
     }
 }
 
+/// Resolves the effective autotuning switch: `TORCHSPARSE_AUTOTUNE`
+/// (`off`/`0`/`false` disables the compile-time policy search, `on`/`1`/
+/// `true` forces it) wins over `config.autotune_policies`. The variable is
+/// read once per process; a set-but-unrecognized value emits a one-time
+/// warning and defers to the configuration instead of being silently
+/// ignored.
+pub fn autotune_enabled(config: &OptimizationConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_AUTOTUNE").ok()?;
+        match parse_autotune_override(&raw) {
+            Ok(forced) => Some(forced),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_AUTOTUNE", &warning);
+                None
+            }
+        }
+    });
+    forced.unwrap_or(config.autotune_policies)
+}
+
+/// Strictly parses a `TORCHSPARSE_AUTOTUNE` value; factored out of
+/// [`autotune_enabled`] so the policy is testable without touching process
+/// state. Unrecognized values return the warning message to emit.
+fn parse_autotune_override(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(false),
+        "on" | "1" | "true" => Ok(true),
+        _ => Err(format!(
+            "TORCHSPARSE_AUTOTUNE={raw:?} is not one of on/off/1/0/true/false; \
+             falling back to the engine configuration's autotune_policies flag"
+        )),
+    }
+}
+
+/// Resolves the tuning-database location: `TORCHSPARSE_TUNE_DB` (a
+/// non-empty path) wins over `config.tune_db`, which wins over the default
+/// cache directory (`$XDG_CACHE_HOME/torchsparse/tune-v1.json`, else
+/// `$HOME/.cache/torchsparse/tune-v1.json`). Returns `None` when no
+/// location resolves — tuning then runs without persistence. The variable
+/// is read once per process; a set-but-empty value emits a one-time
+/// warning and defers to the configuration instead of being silently
+/// ignored.
+pub fn tune_db_path(config: &OptimizationConfig) -> Option<std::path::PathBuf> {
+    static OVERRIDE: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_TUNE_DB").ok()?;
+        match parse_tune_db_override(&raw) {
+            Ok(path) => Some(path),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_TUNE_DB", &warning);
+                None
+            }
+        }
+    });
+    if let Some(path) = forced {
+        return Some(path.clone());
+    }
+    if let Some(path) = &config.tune_db {
+        return Some(path.clone());
+    }
+    let cache_root = match std::env::var_os("XDG_CACHE_HOME") {
+        Some(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => {
+            let home = std::env::var_os("HOME").filter(|h| !h.is_empty())?;
+            std::path::PathBuf::from(home).join(".cache")
+        }
+    };
+    Some(cache_root.join("torchsparse").join("tune-v1.json"))
+}
+
+/// Strictly parses a `TORCHSPARSE_TUNE_DB` value; factored out of
+/// [`tune_db_path`] so the policy is testable without touching process
+/// state. Empty values return the warning message to emit.
+fn parse_tune_db_override(raw: &str) -> Result<std::path::PathBuf, String> {
+    if raw.trim().is_empty() {
+        Err(format!(
+            "TORCHSPARSE_TUNE_DB={raw:?} is empty; falling back to the engine \
+             configuration's tune_db path (or the default cache directory)"
+        ))
+    } else {
+        Ok(std::path::PathBuf::from(raw))
+    }
+}
+
 impl OptimizationConfig {
     /// Fully optimized TorchSparse configuration.
     pub fn torchsparse() -> OptimizationConfig {
@@ -323,6 +433,8 @@ impl OptimizationConfig {
             fused_execution: true,
             exact_accumulation: true,
             coord_index: CoordIndexChoice::Auto,
+            autotune_policies: true,
+            tune_db: None,
         }
     }
 
@@ -357,6 +469,11 @@ impl OptimizationConfig {
             // The frozen-plan index changes no bits either; the baseline
             // keeps Auto so dynamic runs match the historical hashmap path.
             coord_index: CoordIndexChoice::Auto,
+            // Policy autotuning is bitwise-neutral (it only reroutes the
+            // host executor), so like fused execution it stays on even in
+            // the baseline.
+            autotune_policies: true,
+            tune_db: None,
         }
     }
 
@@ -529,6 +646,63 @@ mod tests {
             let w = parse_coord_index_override(bad).expect_err("malformed value must warn");
             assert!(w.contains("TORCHSPARSE_COORD_INDEX"), "warning must name the variable: {w}");
             assert!(w.contains("coord_index"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn autotune_override_parses_strictly() {
+        for (raw, expect) in [("off", false), ("0", false), ("FALSE", false), (" on ", true)] {
+            assert_eq!(parse_autotune_override(raw), Ok(expect), "{raw:?}");
+        }
+        for bad in ["abc", "2", "", "yes"] {
+            let w = parse_autotune_override(bad).expect_err("malformed value must warn");
+            assert!(w.contains("TORCHSPARSE_AUTOTUNE"), "warning must name the variable: {w}");
+            assert!(w.contains("autotune_policies"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn tune_db_override_parses_strictly() {
+        assert_eq!(
+            parse_tune_db_override("/tmp/db.json"),
+            Ok(std::path::PathBuf::from("/tmp/db.json"))
+        );
+        assert_eq!(
+            parse_tune_db_override("relative/dir/tune.json"),
+            Ok(std::path::PathBuf::from("relative/dir/tune.json"))
+        );
+        for bad in ["", "   "] {
+            let w = parse_tune_db_override(bad).expect_err("empty value must warn");
+            assert!(w.contains("TORCHSPARSE_TUNE_DB"), "warning must name the variable: {w}");
+            assert!(w.contains("tune_db"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn explicit_tune_db_wins_over_default_cache_dir() {
+        if std::env::var_os("TORCHSPARSE_TUNE_DB").is_some() {
+            return; // the env override legitimately wins; nothing to check
+        }
+        let mut c = OptimizationConfig::torchsparse();
+        c.tune_db = Some(std::path::PathBuf::from("/tmp/torchsparse-test/db.json"));
+        assert_eq!(
+            tune_db_path(&c),
+            Some(std::path::PathBuf::from("/tmp/torchsparse-test/db.json"))
+        );
+    }
+
+    #[test]
+    fn presets_default_to_autotune_on() {
+        for preset in [
+            EnginePreset::TorchSparse,
+            EnginePreset::BaselineFp32,
+            EnginePreset::MinkowskiEngine,
+            EnginePreset::SpConv,
+            EnginePreset::SpConvFp16,
+        ] {
+            let c = preset.config();
+            assert!(c.autotune_policies, "{}: autotuning is bitwise-neutral", preset.name());
+            assert_eq!(c.tune_db, None, "{}", preset.name());
         }
     }
 

@@ -124,6 +124,11 @@ pub struct Context {
     /// Per-layer tuned `(epsilon, S)` for adaptive grouping, filled by
     /// [`crate::tuning`].
     pub tuned_groups: HashMap<String, (f64, usize)>,
+    /// Per-layer tuned execution policies, filled by the compile-time
+    /// policy search ([`crate::tuning::autotune_plan`]). Survives
+    /// [`Context::begin_run`] like [`Context::tuned_groups`] so re-plans
+    /// after a geometry change keep the tuned selections.
+    pub tuned_policies: HashMap<String, crate::tuning::ExecPolicy>,
     /// Workloads recorded when `record_workloads` is on.
     pub workloads: Vec<LayerWorkload>,
     /// Whether layers should append to [`Context::workloads`].
@@ -195,6 +200,7 @@ impl Context {
             timeline: Timeline::new(),
             map_cache: HashMap::new(),
             tuned_groups: HashMap::new(),
+            tuned_policies: HashMap::new(),
             workloads: Vec::new(),
             record_workloads: false,
             simulate_only: false,
@@ -259,6 +265,12 @@ impl Context {
     /// The tuned `(epsilon, S)` for a layer, if the tuner has produced one.
     pub fn tuned_for(&self, layer: &str) -> Option<(f64, usize)> {
         self.tuned_groups.get(layer).copied()
+    }
+
+    /// The tuned execution policy for a layer, if the compile-time policy
+    /// search has selected one.
+    pub fn policy_for(&self, layer: &str) -> Option<crate::tuning::ExecPolicy> {
+        self.tuned_policies.get(layer).copied()
     }
 
     /// Charges the fixed host-side framework overhead of one layer op

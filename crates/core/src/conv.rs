@@ -1,12 +1,12 @@
 use crate::config::{GroupingStrategy, Precision};
 use crate::context::{CachedMap, Context, LayerWorkload, MapKey};
 use crate::dataflow::{
-    apply_storage_precision_owned_kernel, compute_kernel, run_fetch_on_demand,
+    apply_storage_precision_owned_kernel, policy_kernel, run_fetch_on_demand,
     run_gather_matmul_scatter, ConvWorkload, FusedOrder,
 };
 use crate::faults::FaultSite;
 use crate::grouping::plan_groups;
-use crate::mapping::build_layer_mapping_observed_on;
+use crate::mapping::{build_layer_mapping_observed_on, compact_cached_index};
 use crate::module::Module;
 use crate::plan::{ConvDataflow, ConvPlan, LayerOp, Tracer};
 use crate::{CoreError, SparseTensor};
@@ -273,7 +273,7 @@ impl SparseConv3d {
             map: mapping.map,
             fine_coords: coords.to_vec(),
             coarse_coords: mapping.out_coords,
-            index: mapping.index,
+            index: compact_cached_index(mapping.index, coords, &ctx.config),
         };
         Ok((ctx.store_map(key, cached), false))
     }
@@ -312,22 +312,33 @@ impl SparseConv3d {
             Some(m) => m,
             None => &cached.map,
         };
+        // The compile-time policy search may have selected a full execution
+        // policy for this layer; its grouping choice outranks the grouping
+        // and `(epsilon, S)` resolution below.
+        let policy = ctx.policy_for(&self.name);
         // Fetch-on-demand when configured and the workload is small.
         let avg_map = map_ref.total_entries() / map_ref.num_offsets().max(1);
         let use_fod = ctx.config.fetch_on_demand_below.is_some_and(|t| avg_map < t);
         let dataflow = if use_fod {
             ConvDataflow::FetchOnDemand
         } else {
-            // Grouping strategy, with per-layer tuned parameters if present;
-            // after a tuning failure adaptive layers degrade to fixed groups.
-            let strategy = match (ctx.config.grouping, ctx.tuned_for(&self.name)) {
-                (GroupingStrategy::Adaptive { .. }, _) if ctx.grouping_fallback => {
+            // Grouping strategy: a tuned policy wins, then per-layer tuned
+            // `(epsilon, S)` parameters if present; after a tuning failure
+            // adaptive layers degrade to fixed groups.
+            let strategy = match (policy.map(|p| p.grouping), ctx.tuned_for(&self.name)) {
+                (Some(GroupingStrategy::Adaptive { .. }), _) | (None, _)
+                    if ctx.grouping_fallback
+                        && matches!(ctx.config.grouping, GroupingStrategy::Adaptive { .. }) =>
+                {
                     GroupingStrategy::Fixed
                 }
-                (GroupingStrategy::Adaptive { .. }, Some((epsilon, s_threshold))) => {
+                (Some(s), _) => s,
+                (None, Some((epsilon, s_threshold)))
+                    if matches!(ctx.config.grouping, GroupingStrategy::Adaptive { .. }) =>
+                {
                     GroupingStrategy::Adaptive { epsilon, s_threshold }
                 }
-                (s, _) => s,
+                (None, _) => ctx.config.grouping,
             };
             ConvDataflow::Grouped(plan_groups(&map_ref.sizes(), submanifold, strategy))
         };
@@ -342,7 +353,15 @@ impl SparseConv3d {
         let fused = {
             let n_out =
                 if use_fine { cached.fine_coords.len() } else { cached.coarse_coords.len() };
-            Arc::new(FusedOrder::build_on(&ctx.runtime.pool(), map_ref, n_out))
+            match policy {
+                Some(p) => Arc::new(FusedOrder::build_on_chunked(
+                    &ctx.runtime.pool(),
+                    map_ref,
+                    n_out,
+                    p.chunk_rows,
+                )),
+                None => Arc::new(FusedOrder::build_on(&ctx.runtime.pool(), map_ref, n_out)),
+            }
         };
 
         Ok(ConvPlan {
@@ -355,6 +374,7 @@ impl SparseConv3d {
             dataflow,
             packed: self.packed_weights(),
             fused,
+            policy,
         })
     }
 
@@ -399,6 +419,7 @@ impl SparseConv3d {
             n_out: out_coords.len(),
             center_identity: plan.center,
             fused: Some(&plan.fused),
+            policy: plan.policy,
         };
 
         let run_dataflow = |ctx: &mut Context| -> Result<Matrix, CoreError> {
@@ -412,7 +433,7 @@ impl SparseConv3d {
             &ctx.runtime.pool(),
             run_dataflow(ctx)?,
             ctx.config.precision,
-            compute_kernel(&ctx.config),
+            policy_kernel(&ctx.config, plan.policy.as_ref()),
         );
         if ctx.config.precision != Precision::Fp32 {
             if !out_feats.is_empty() && ctx.faults.should_fail(FaultSite::Fp16Overflow) {

@@ -22,6 +22,7 @@ use crate::config::{OptimizationConfig, Precision, SimdPolicy};
 use crate::context::Context;
 use crate::grouping::GroupPlan;
 use crate::runtime::{Task, ThreadPool};
+use crate::tuning::ExecPolicy;
 use crate::CoreError;
 use torchsparse_coords::kernel_map::MapEntry;
 use torchsparse_coords::KernelMap;
@@ -55,21 +56,47 @@ pub struct ConvWorkload<'a> {
     /// `fused_execution = false`) keeps the materialized gather/psum
     /// buffer path.
     pub fused: Option<&'a FusedOrder>,
+    /// The tuned per-layer execution policy, when the plan carries one.
+    /// `None` resolves every knob from the global [`OptimizationConfig`].
+    /// Every selectable policy is bitwise-neutral — it changes execution
+    /// speed and schedule, never the output bits.
+    pub policy: Option<ExecPolicy>,
 }
 
-/// Resolves the engine's [`SimdPolicy`] to a concrete compute kernel.
-pub(crate) fn compute_kernel(config: &OptimizationConfig) -> Kernel {
-    match config.simd {
+/// Resolves a [`SimdPolicy`] to a concrete compute kernel.
+fn kernel_for(simd: SimdPolicy) -> Kernel {
+    match simd {
         SimdPolicy::Auto => microkernel::active(),
         SimdPolicy::Portable => Kernel::Portable,
         SimdPolicy::Scalar => Kernel::Scalar,
     }
 }
 
-/// GEMM options for this configuration: the resolved kernel, with FMA only
-/// if the config opted in.
-fn gemm_opts(config: &OptimizationConfig) -> GemmOpts {
-    GemmOpts { kernel: Some(compute_kernel(config)), fma: config.fma_gemm }
+/// The compute kernel for one workload: a tuned policy's SIMD choice wins
+/// over the global config. All kernels are bit-exact against each other,
+/// so this only changes instruction throughput.
+pub(crate) fn policy_kernel(config: &OptimizationConfig, policy: Option<&ExecPolicy>) -> Kernel {
+    kernel_for(policy.map_or(config.simd, |p| p.simd))
+}
+
+/// The effective fused-execution switch for one workload: the
+/// `TORCHSPARSE_FUSED` override outranks the plan's tuned policy, which
+/// outranks the global `fused_execution` flag.
+fn fused_for(config: &OptimizationConfig, policy: Option<&ExecPolicy>) -> bool {
+    match crate::config::fused_override() {
+        Some(forced) => forced,
+        None => policy.map_or(config.fused_execution, |p| p.fused),
+    }
+}
+
+/// GEMM options for one workload: the resolved kernel, FMA only if the
+/// config opted in, and the tuned policy's row-panel width when present.
+fn gemm_opts(config: &OptimizationConfig, policy: Option<&ExecPolicy>) -> GemmOpts {
+    GemmOpts {
+        kernel: Some(policy_kernel(config, policy)),
+        fma: config.fma_gemm,
+        panel_rows: policy.map(|p| p.panel_rows),
+    }
 }
 
 impl ConvWorkload<'_> {
@@ -196,6 +223,12 @@ pub struct FusedOrder {
     /// lists at execute time. `None` = the CSR slice itself is the view
     /// and the producer index is the identity.
     resort: Vec<Option<Resort>>,
+    /// Output rows per chunk this order was split at ([`MOVE_CHUNK`] unless
+    /// a tuned policy chose otherwise). The executors partition their
+    /// output blocks at exactly this width; any width produces identical
+    /// bits because each output row lives in exactly one chunk and its
+    /// per-entry accumulation order is unchanged.
+    chunk_rows: usize,
 }
 
 /// One offset's materialized re-sort: the entries stably sorted by output
@@ -226,7 +259,11 @@ impl OffsetView<'_> {
 
 /// One offset's share of a [`FusedOrder`]: the chunk split points, plus the
 /// materialized re-sort when the CSR range is not already output-sorted.
-fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<u32>, Option<Resort>) {
+fn order_one_offset(
+    src: &[MapEntry],
+    chunks: usize,
+    chunk_rows: usize,
+) -> (Vec<u32>, Option<Resort>) {
     // Forward maps are already output-ascending; only transposed maps
     // actually pay the sort (stable, so entry order among equal outputs is
     // preserved) and the materialized copy.
@@ -246,7 +283,7 @@ fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<u32>, Option<Resort
     let mut i = 0usize;
     for c in 0..chunks {
         s.push(i as u32);
-        let hi = ((c + 1) * MOVE_CHUNK) as u32;
+        let hi = ((c + 1) * chunk_rows) as u32;
         while i < entries.len() && entries[i].output < hi {
             i += 1;
         }
@@ -258,19 +295,28 @@ fn order_one_offset(src: &[MapEntry], chunks: usize) -> (Vec<u32>, Option<Resort
 
 impl FusedOrder {
     /// Splits `map`'s entries (and re-sorts any non-output-sorted offsets)
-    /// for a convolution producing `n_out` output rows.
+    /// for a convolution producing `n_out` output rows, at the default
+    /// [`MOVE_CHUNK`] width.
     #[must_use]
     pub fn build(map: &KernelMap, n_out: usize) -> FusedOrder {
-        let chunks = n_out.div_ceil(MOVE_CHUNK);
+        FusedOrder::build_chunked(map, n_out, MOVE_CHUNK)
+    }
+
+    /// [`build`](FusedOrder::build) with an explicit chunk width (the
+    /// autotuner's gather/scatter granularity axis).
+    #[must_use]
+    pub fn build_chunked(map: &KernelMap, n_out: usize, chunk_rows: usize) -> FusedOrder {
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = n_out.div_ceil(chunk_rows);
         let volume = map.num_offsets();
         let mut starts = Vec::with_capacity(volume);
         let mut resort = Vec::with_capacity(volume);
         for n in 0..volume {
-            let (s, r) = order_one_offset(map.entries(n), chunks);
+            let (s, r) = order_one_offset(map.entries(n), chunks, chunk_rows);
             starts.push(s);
             resort.push(r);
         }
-        FusedOrder { starts, resort }
+        FusedOrder { starts, resort, chunk_rows }
     }
 
     /// [`build`](FusedOrder::build) with the per-offset sort/split work
@@ -282,14 +328,27 @@ impl FusedOrder {
     /// so the constructed order is bitwise the same at any pool width.
     #[must_use]
     pub fn build_on(pool: &ThreadPool, map: &KernelMap, n_out: usize) -> FusedOrder {
-        let chunks = n_out.div_ceil(MOVE_CHUNK);
+        FusedOrder::build_on_chunked(pool, map, n_out, MOVE_CHUNK)
+    }
+
+    /// [`build_on`](FusedOrder::build_on) with an explicit chunk width.
+    #[must_use]
+    pub fn build_on_chunked(
+        pool: &ThreadPool,
+        map: &KernelMap,
+        n_out: usize,
+        chunk_rows: usize,
+    ) -> FusedOrder {
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = n_out.div_ceil(chunk_rows);
         let volume = map.num_offsets();
         let mut slots: Vec<Option<(Vec<u32>, Option<Resort>)>> = vec![None; volume];
         let tasks: Vec<Task<'_>> = slots
             .iter_mut()
             .enumerate()
             .map(|(n, slot)| {
-                Box::new(move || *slot = Some(order_one_offset(map.entries(n), chunks))) as Task<'_>
+                Box::new(move || *slot = Some(order_one_offset(map.entries(n), chunks, chunk_rows)))
+                    as Task<'_>
             })
             .collect();
         pool.run(tasks);
@@ -300,7 +359,13 @@ impl FusedOrder {
             resort.push(slot.1);
         }
         debug_assert_eq!(starts.len(), volume, "every offset task must have run");
-        FusedOrder { starts, resort }
+        FusedOrder { starts, resort, chunk_rows }
+    }
+
+    /// Output rows per chunk this order was split at.
+    #[inline]
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
     }
 
     /// The chunk split points of offset `n`.
@@ -428,7 +493,7 @@ fn exact_scatter_chunk(
         for (acc, &v) in grid.iter_mut().zip(block.iter()) {
             acc.add(v);
         }
-        let base = (c * MOVE_CHUNK) as u32;
+        let base = (c * order.chunk_rows()) as u32;
         for (n, p) in psums.iter().enumerate() {
             let Some(p) = p else { continue };
             let view = order.view(map, n);
@@ -502,12 +567,13 @@ fn scatter_accumulate(
             &built
         }
     };
+    let chunk = order.chunk_rows();
     let run_chunk = |c: usize, block: &mut [f32]| {
         if exact {
             exact_scatter_chunk(order, map, psums, c, c_out, block);
             return;
         }
-        let base = (c * MOVE_CHUNK) as u32;
+        let base = (c * chunk) as u32;
         for (n, p) in psums.iter().enumerate() {
             let Some(p) = p else { continue };
             let view = order.view(map, n);
@@ -525,7 +591,7 @@ fn scatter_accumulate(
         }
     };
     if pool.threads() <= 1 && !pool.is_recording() {
-        for (c, block) in out.as_mut_slice().chunks_mut(MOVE_CHUNK * c_out).enumerate() {
+        for (c, block) in out.as_mut_slice().chunks_mut(chunk * c_out).enumerate() {
             run_chunk(c, block);
         }
         return;
@@ -533,7 +599,7 @@ fn scatter_accumulate(
     let run_chunk = &run_chunk;
     let tasks: Vec<Task<'_>> = out
         .as_mut_slice()
-        .chunks_mut(MOVE_CHUNK * c_out)
+        .chunks_mut(chunk * c_out)
         .enumerate()
         .map(|(c, block)| Box::new(move || run_chunk(c, block)) as Task<'_>)
         .collect();
@@ -624,8 +690,8 @@ fn is_center_shortcut(w: &ConvWorkload<'_>, offsets: &[usize], ctx: &Context) ->
 /// per-worker tile and fold into the chunk's superaccumulator grid, making
 /// the result the correctly rounded sum of the same addend multiset the
 /// unfused exact scatter reduces — bitwise equal across routes *and*
-/// schedules. Parallel tasks own disjoint [`MOVE_CHUNK`] output-row
-/// blocks; the partition never depends on the pool width.
+/// schedules. Parallel tasks own disjoint output-row blocks of the order's
+/// chunk width; the partition never depends on the pool width.
 #[allow(clippy::too_many_arguments)]
 fn run_fused_numerics(
     w: &ConvWorkload<'_>,
@@ -658,8 +724,9 @@ fn run_fused_numerics(
         None => microkernel::BOperand::Dense(w.weights[n].as_slice()),
     };
     let volume = w.map.num_offsets();
+    let chunk = fused.chunk_rows();
     let run_chunk = |c: usize, block: &mut [f32]| {
-        let base = (c * MOVE_CHUNK) as u32;
+        let base = (c * chunk) as u32;
         let mut in_rows = [0u32; MOVE_CHUNK];
         let mut out_rel = [0u32; MOVE_CHUNK];
         if exact {
@@ -723,9 +790,10 @@ fn run_fused_numerics(
             let lo = fused.starts(n)[c] as usize;
             let hi = fused.starts(n)[c + 1] as usize;
             let entries = &fused.view(w.map, n).entries[lo..hi];
-            // One offset contributes at most MOVE_CHUNK entries per chunk
-            // (outputs are unique within an offset); the sub-chunk loop
-            // only guards degenerate hand-built maps.
+            // The register staging tiles are fixed at MOVE_CHUNK rows, so
+            // wider tuned chunks (and degenerate hand-built maps) stream
+            // through this sub-chunk loop in MOVE_CHUNK-entry batches —
+            // per-row accumulation order is unchanged either way.
             let mut i = 0;
             while i < entries.len() {
                 let cnt = (entries.len() - i).min(MOVE_CHUNK);
@@ -749,7 +817,7 @@ fn run_fused_numerics(
         }
     };
     if pool.threads() <= 1 && !pool.is_recording() {
-        for (c, block) in out.as_mut_slice().chunks_mut(MOVE_CHUNK * c_out).enumerate() {
+        for (c, block) in out.as_mut_slice().chunks_mut(chunk * c_out).enumerate() {
             run_chunk(c, block);
         }
         return;
@@ -757,7 +825,7 @@ fn run_fused_numerics(
     let run_chunk = &run_chunk;
     let tasks: Vec<Task<'_>> = out
         .as_mut_slice()
-        .chunks_mut(MOVE_CHUNK * c_out)
+        .chunks_mut(chunk * c_out)
         .enumerate()
         .map(|(c, block)| Box::new(move || run_chunk(c, block)) as Task<'_>)
         .collect();
@@ -779,8 +847,8 @@ pub fn run_gather_matmul_scatter(
     let m = modes(ctx.config.precision, ctx.config.vectorized);
     let bufs = layout(w, plan, &m, ctx);
     let pool = ctx.runtime.pool();
-    let kernel = compute_kernel(&ctx.config);
-    let opts = gemm_opts(&ctx.config);
+    let kernel = policy_kernel(&ctx.config, w.policy.as_ref());
+    let opts = gemm_opts(&ctx.config, w.policy.as_ref());
     let mut out = Matrix::zeros(w.n_out, w.c_out());
 
     // ---- Real computation (order-independent). -------------------------
@@ -791,7 +859,7 @@ pub fn run_gather_matmul_scatter(
     // fused path ignores it; the simulated cost below still models the
     // configured grouping/movement kernels either way.
     let exact = crate::config::exact_accum_enabled(&ctx.config);
-    let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
+    let fused_order = if ctx.simulate_only || !fused_for(&ctx.config, w.policy.as_ref()) {
         None
     } else {
         w.fused
@@ -1159,14 +1227,14 @@ pub fn run_fetch_on_demand(w: &ConvWorkload<'_>, ctx: &mut Context) -> Result<Ma
     let precision = gemm_precision(ctx.config.precision);
     let mut compute = torchsparse_gpusim::Micros::ZERO;
     let pool = ctx.runtime.pool();
-    let kernel = compute_kernel(&ctx.config);
-    let opts = gemm_opts(&ctx.config);
+    let kernel = policy_kernel(&ctx.config, w.policy.as_ref());
+    let opts = gemm_opts(&ctx.config, w.policy.as_ref());
     // Fused route: stream map rows straight through the microkernel into
     // `out` — no scratch buffers taken at all. Fetch-on-demand keeps its
     // partial sums in FP32 (no 16-bit psum store), hence `round_f16:
     // false`, and never uses the center shortcut.
     let exact = crate::config::exact_accum_enabled(&ctx.config);
-    let fused_order = if ctx.simulate_only || !crate::config::fused_enabled(&ctx.config) {
+    let fused_order = if ctx.simulate_only || !fused_for(&ctx.config, w.policy.as_ref()) {
         None
     } else {
         w.fused
@@ -1354,6 +1422,7 @@ mod tests {
                             n_out,
                             center_identity: Some(13),
                             fused: None,
+                            policy: None,
                         };
                         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
                         let diff = out.max_abs_diff(&expect).unwrap();
@@ -1381,6 +1450,7 @@ mod tests {
             n_out,
             center_identity: Some(13),
             fused: None,
+            policy: None,
         };
         let out = run_fetch_on_demand(&w, &mut ctx).unwrap();
         assert!(out.max_abs_diff(&expect).unwrap() < 1e-3);
@@ -1403,6 +1473,7 @@ mod tests {
             n_out,
             center_identity: Some(13),
             fused: None,
+            policy: None,
         };
         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         let rel = out.max_abs_diff(&expect).unwrap() / expect.frobenius_norm().max(1e-6);
@@ -1422,6 +1493,7 @@ mod tests {
             n_out: coords.len(),
             center_identity: Some(13),
             fused: None,
+            policy: None,
         };
         run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         assert!(ctx.timeline.stage(Stage::Gather).as_f64() > 0.0);
@@ -1445,6 +1517,7 @@ mod tests {
                 n_out: coords.len(),
                 center_identity: Some(13),
                 fused: None,
+                policy: None,
             };
             run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
             ctx.timeline.data_movement().as_f64()
@@ -1469,6 +1542,7 @@ mod tests {
             n_out,
             center_identity: Some(13),
             fused: None,
+            policy: None,
         };
         let out = run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap();
         // INT8 storage was not applied to in_feats here (the conv layer does
@@ -1501,6 +1575,7 @@ mod tests {
                         n_out,
                         center_identity: Some(13),
                         fused,
+                        policy: None,
                     };
                     run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap()
                 };
@@ -1528,9 +1603,92 @@ mod tests {
                 n_out,
                 center_identity: Some(13),
                 fused,
+                policy: None,
             };
             run_fetch_on_demand(&w, &mut ctx).unwrap()
         };
         assert_eq!(bits_of(&run(Some(&order))), bits_of(&run(None)));
+    }
+
+    #[test]
+    fn chunk_width_is_bitwise_neutral() {
+        // Every gather/scatter chunk width the autotuner may pick streams
+        // the same per-row addend order, so outputs are bit-identical to
+        // the default MOVE_CHUNK split — fused and unfused, exact on/off.
+        let (coords, feats, weights, map) = workload_parts(8, 16);
+        let n_out = coords.len();
+        let run = |order: &FusedOrder, exact: bool, use_fused: bool| {
+            let mut cfg = OptimizationConfig::torchsparse();
+            cfg.exact_accumulation = exact;
+            let mut ctx = ctx_with(cfg.clone());
+            let plan = plan_groups(&map.sizes(), true, cfg.grouping);
+            let w = ConvWorkload {
+                in_feats: &feats,
+                weights: &weights,
+                packed: None,
+                map: &map,
+                n_out,
+                center_identity: Some(13),
+                fused: use_fused.then_some(order),
+                policy: None,
+            };
+            run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap()
+        };
+        if std::env::var_os("TORCHSPARSE_EXACT_ACCUM").is_some() {
+            return; // env forces one accumulation mode; skip the sweep
+        }
+        let baseline = FusedOrder::build(&map, n_out);
+        assert_eq!(baseline.chunk_rows(), MOVE_CHUNK);
+        for exact in [false, true] {
+            for use_fused in [true, false] {
+                let expect = bits_of(&run(&baseline, exact, use_fused));
+                for chunk in [1, 32, 128, 256, 1000] {
+                    let order = FusedOrder::build_chunked(&map, n_out, chunk);
+                    assert_eq!(order.chunk_rows(), chunk);
+                    assert_eq!(
+                        bits_of(&run(&order, exact, use_fused)),
+                        expect,
+                        "chunk={chunk} exact={exact} fused={use_fused}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_overrides_config_knobs() {
+        // A plan-carried policy steers the fused route and SIMD kernel
+        // without touching the global config — and stays bit-identical.
+        let (coords, feats, weights, map) = workload_parts(8, 16);
+        let n_out = coords.len();
+        let order = FusedOrder::build(&map, n_out);
+        let run = |policy: Option<ExecPolicy>| {
+            let cfg = OptimizationConfig::torchsparse();
+            let mut ctx = ctx_with(cfg.clone());
+            let plan = plan_groups(&map.sizes(), true, cfg.grouping);
+            let w = ConvWorkload {
+                in_feats: &feats,
+                weights: &weights,
+                packed: None,
+                map: &map,
+                n_out,
+                center_identity: Some(13),
+                fused: Some(&order),
+                policy,
+            };
+            run_gather_matmul_scatter(&w, &plan, &mut ctx).unwrap()
+        };
+        let cfg = OptimizationConfig::torchsparse();
+        let base = ExecPolicy::from_config(&cfg);
+        let expect = bits_of(&run(None));
+        for policy in [
+            base,
+            ExecPolicy { fused: false, ..base },
+            ExecPolicy { simd: SimdPolicy::Portable, ..base },
+            ExecPolicy { simd: SimdPolicy::Scalar, ..base },
+            ExecPolicy { panel_rows: 32, chunk_rows: 256, ..base },
+        ] {
+            assert_eq!(bits_of(&run(Some(policy))), expect, "{policy:?}");
+        }
     }
 }

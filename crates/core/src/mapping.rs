@@ -268,6 +268,32 @@ pub fn build_layer_mapping_observed_on(
     Ok(LayerMapping { map, out_coords, latency, table: kind, index })
 }
 
+/// Compacts a freshly built search index into the succinct MPHF
+/// representation before it enters the repeated-geometry cache
+/// ([`crate::context::CachedMap`]).
+///
+/// Dynamic map search probes the grid/hashmap machinery for build speed, but
+/// the *cached* copy is retained read-only for the rest of the run (and for
+/// the lifetime of any frozen plan built from it), where the minimal perfect
+/// hash answers the same queries in a fraction of the memory. Only the
+/// default [`CoordIndexChoice::Auto`] compacts — an explicitly pinned
+/// hashmap/grid choice is preserved so the legacy representations stay
+/// exercisable — and coordinate sets without a perfect hash (duplicates)
+/// keep the original index. Lookup results are identical either way.
+pub(crate) fn compact_cached_index(
+    index: Box<dyn CoordIndex>,
+    coords: &[Coord],
+    config: &OptimizationConfig,
+) -> Box<dyn CoordIndex> {
+    if coord_index_choice(config) != CoordIndexChoice::Auto {
+        return index;
+    }
+    match MphfIndex::build(coords) {
+        Ok((mphf, _accesses)) => Box::new(mphf),
+        Err(_) => index,
+    }
+}
+
 fn build_table(
     coords: &[Coord],
     config: &OptimizationConfig,

@@ -131,6 +131,9 @@ pub(crate) struct ConvPlan {
     /// the unfused scatter partitions by it, so it is built unconditionally
     /// — once per geometry, on the worker pool.
     pub(crate) fused: Arc<FusedOrder>,
+    /// The tuned per-layer execution policy selected by the compile-time
+    /// policy search, or `None` when untuned (global config behavior).
+    pub(crate) policy: Option<crate::tuning::ExecPolicy>,
 }
 
 impl ConvPlan {

@@ -122,7 +122,11 @@ impl SparseMaxPool3d {
                         map: mapping.map,
                         fine_coords: coords.to_vec(),
                         coarse_coords: mapping.out_coords,
-                        index: mapping.index,
+                        index: crate::mapping::compact_cached_index(
+                            mapping.index,
+                            coords,
+                            &ctx.config,
+                        ),
                     },
                 )
             }

@@ -96,6 +96,10 @@ pub struct CompiledModel<'m> {
     base_plan: Arc<ExecutionPlan>,
     config: OptimizationConfig,
     device: DeviceProfile,
+    /// Outcome of the compile-time policy search, when autotuning ran.
+    /// Fresh streams inherit its per-layer policies so their private
+    /// re-plans keep the tuned selections.
+    tuning: Option<crate::tuning::TuningReport>,
 }
 
 /// One stream's private execution state: its engine (context with the
@@ -125,7 +129,10 @@ impl<'m> CompiledModel<'m> {
     /// [`Context::validate`] (cannot happen for configurations that came
     /// through [`Engine::compile`], which validated at construction).
     pub fn new_stream(&self) -> Result<StreamState, CoreError> {
-        let engine = Engine::try_with_config(self.config.clone(), self.device.clone())?;
+        let mut engine = Engine::try_with_config(self.config.clone(), self.device.clone())?;
+        if let Some(report) = &self.tuning {
+            engine.context_mut().tuned_policies = report.policies.clone();
+        }
         Ok(StreamState {
             engine,
             plan: Some(self.base_plan.clone()),
@@ -214,6 +221,13 @@ impl<'m> CompiledModel<'m> {
     /// The device profile new streams are built with.
     pub fn device(&self) -> &DeviceProfile {
         &self.device
+    }
+
+    /// The compile-time policy search's report: per-layer selections plus
+    /// measurement and warm-start counters. `None` when autotuning was
+    /// disabled at compile time.
+    pub fn tuning_report(&self) -> Option<&crate::tuning::TuningReport> {
+        self.tuning.as_ref()
     }
 }
 
@@ -316,7 +330,16 @@ impl<'m> CompiledSession<'m> {
         };
         let tensor = sanitized.as_ref().unwrap_or(input);
         let fingerprint = geometry_fingerprint(tensor.coords(), tensor.stride());
-        let plan = build_plan(&ops, tensor, fingerprint, ctx)?;
+        let mut plan = build_plan(&ops, tensor, fingerprint, ctx)?;
+        // Policy search runs against the frozen plan: warm-start from the
+        // on-disk tuning database when a matching geometry class exists,
+        // otherwise prune with the cost-model prior and microbench the
+        // short list, rewriting the plan's per-layer policies in place.
+        let tuning = if crate::config::autotune_enabled(&ctx.config) {
+            Some(crate::tuning::autotune_plan(&ops, &mut plan, ctx))
+        } else {
+            None
+        };
         let planning = ctx.timeline.clone();
         let planning_degradation = ctx.degradation.clone();
         let config = ctx.config.clone();
@@ -324,7 +347,7 @@ impl<'m> CompiledSession<'m> {
 
         let base_plan = Arc::new(plan);
         Ok(CompiledSession {
-            shared: CompiledModel { ops, base_plan: base_plan.clone(), config, device },
+            shared: CompiledModel { ops, base_plan: base_plan.clone(), config, device, tuning },
             stream: StreamState {
                 engine,
                 stats: PlanCacheStats {
@@ -421,6 +444,11 @@ impl<'m> CompiledSession<'m> {
     /// Degradation decisions of the last [`CompiledSession::execute`].
     pub fn degradation_report(&self) -> &DegradationReport {
         self.stream.degradation_report()
+    }
+
+    /// The compile-time policy search's report, when autotuning ran.
+    pub fn tuning_report(&self) -> Option<&crate::tuning::TuningReport> {
+        self.shared.tuning_report()
     }
 }
 

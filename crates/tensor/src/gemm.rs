@@ -59,12 +59,17 @@ pub struct GemmOpts {
     pub kernel: Option<Kernel>,
     /// Allow fused multiply-add (changes rounding; never on by default).
     pub fma: bool,
+    /// Row-panel width for parallel partitioning; `None` uses [`PANEL`].
+    /// Every output row is computed by exactly one panel with the same
+    /// k-major accumulation order, so the width changes scheduling
+    /// granularity only — results are bitwise identical for every value.
+    pub panel_rows: Option<usize>,
 }
 
 impl GemmOpts {
     /// Options pinned to a specific kernel.
     pub fn with_kernel(kernel: Kernel) -> GemmOpts {
-        GemmOpts { kernel: Some(kernel), fma: false }
+        GemmOpts { kernel: Some(kernel), ..GemmOpts::default() }
     }
 
     /// Resolves the kernel these options denote.
@@ -75,6 +80,11 @@ impl GemmOpts {
         } else {
             k
         }
+    }
+
+    /// Resolves the row-panel width these options denote (never zero).
+    pub fn resolve_panel(self) -> usize {
+        self.panel_rows.unwrap_or(PANEL).max(1)
     }
 }
 
@@ -151,11 +161,14 @@ fn check_shapes(a: &Matrix, b: &Matrix, c: &Matrix) -> Result<(), TensorError> {
 }
 
 /// Shared panel driver for all `mm_into` variants: partitions C into
-/// [`PANEL`]-row panels and runs the microkernel over each, inline or on
-/// the pool. The partition never depends on the pool width.
+/// `panel`-row panels ([`PANEL`] rows unless the options override it) and
+/// runs the microkernel over each, inline or on the pool. The partition
+/// never depends on the pool width.
+#[allow(clippy::too_many_arguments)] // kernel + panel width + raw GEMM shape
 fn mm_into_dispatch(
     pool: &ThreadPool,
     kernel: Kernel,
+    panel_rows: usize,
     a: &Matrix,
     b: BOperand<'_>,
     k: usize,
@@ -170,18 +183,20 @@ fn mm_into_dispatch(
     let c_data = c.as_mut_slice();
 
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
-    if pool.threads() <= 1 && !pool.is_recording() || flops < MIN_PARALLEL_FLOPS || m <= PANEL {
-        for (i, panel) in c_data.chunks_mut(PANEL * n).enumerate() {
-            microkernel::gemm_panel(kernel, a_data, b, k, n, i * PANEL, panel);
+    if pool.threads() <= 1 && !pool.is_recording() || flops < MIN_PARALLEL_FLOPS || m <= panel_rows
+    {
+        for (i, panel) in c_data.chunks_mut(panel_rows * n).enumerate() {
+            microkernel::gemm_panel(kernel, a_data, b, k, n, i * panel_rows, panel);
         }
         return;
     }
     let tasks: Vec<Task<'_>> = c_data
-        .chunks_mut(PANEL * n)
+        .chunks_mut(panel_rows * n)
         .enumerate()
         .map(|(i, panel)| {
-            Box::new(move || microkernel::gemm_panel(kernel, a_data, b, k, n, i * PANEL, panel))
-                as Task<'_>
+            Box::new(move || {
+                microkernel::gemm_panel(kernel, a_data, b, k, n, i * panel_rows, panel)
+            }) as Task<'_>
         })
         .collect();
     pool.run(tasks);
@@ -218,7 +233,16 @@ pub fn mm_into_with(
     if k == 0 {
         return Ok(());
     }
-    mm_into_dispatch(pool, opts.resolve(), a, BOperand::Dense(b.as_slice()), k, b.cols(), c);
+    mm_into_dispatch(
+        pool,
+        opts.resolve(),
+        opts.resolve_panel(),
+        a,
+        BOperand::Dense(b.as_slice()),
+        k,
+        b.cols(),
+        c,
+    );
     Ok(())
 }
 
@@ -254,7 +278,16 @@ pub fn mm_into_packed_on(
     if k == 0 {
         return Ok(());
     }
-    mm_into_dispatch(pool, opts.resolve(), a, BOperand::Packed(b), k, b.n(), c);
+    mm_into_dispatch(
+        pool,
+        opts.resolve(),
+        opts.resolve_panel(),
+        a,
+        BOperand::Packed(b),
+        k,
+        b.n(),
+        c,
+    );
     Ok(())
 }
 
@@ -340,7 +373,7 @@ pub fn bmm_into_with(
         }
     }
     let operands: Vec<BOperand<'_>> = b.iter().map(|bi| BOperand::Dense(bi.as_slice())).collect();
-    bmm_dispatch(pool, opts.resolve(), a, &operands, b_shape, out)
+    bmm_dispatch(pool, opts.resolve(), opts.resolve_panel(), a, &operands, b_shape, out)
 }
 
 /// Batched GEMM over pre-packed weights: `C[i] += A[i] * packed[i]`.
@@ -377,14 +410,15 @@ pub fn bmm_into_packed_on(
         }
     }
     let operands: Vec<BOperand<'_>> = b.iter().map(|pb| BOperand::Packed(pb)).collect();
-    bmm_dispatch(pool, opts.resolve(), a, &operands, b_shape, out)
+    bmm_dispatch(pool, opts.resolve(), opts.resolve_panel(), a, &operands, b_shape, out)
 }
 
 /// Shared driver for the batched variants: validates member shapes, then
-/// flattens every member's [`PANEL`]-row panels into one task wave.
+/// flattens every member's `panel_rows`-row panels into one task wave.
 fn bmm_dispatch(
     pool: &ThreadPool,
     kernel: Kernel,
+    panel_rows: usize,
     a: &[&Matrix],
     b: &[BOperand<'_>],
     b_shape: (usize, usize),
@@ -417,8 +451,8 @@ fn bmm_dispatch(
     let batch_flops = 2.0 * (a.len() * m) as f64 * n as f64 * k as f64;
     if pool.threads() <= 1 && !pool.is_recording() || batch_flops < MIN_PARALLEL_FLOPS {
         for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
-            for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
-                microkernel::gemm_panel(kernel, ai.as_slice(), *bi, k, n, p * PANEL, panel);
+            for (p, panel) in ci.as_mut_slice().chunks_mut(panel_rows * n).enumerate() {
+                microkernel::gemm_panel(kernel, ai.as_slice(), *bi, k, n, p * panel_rows, panel);
             }
         }
         return Ok(());
@@ -427,9 +461,9 @@ fn bmm_dispatch(
     for ((ai, bi), ci) in a.iter().zip(b).zip(out.iter_mut()) {
         let a_data = ai.as_slice();
         let operand = *bi;
-        for (p, panel) in ci.as_mut_slice().chunks_mut(PANEL * n).enumerate() {
+        for (p, panel) in ci.as_mut_slice().chunks_mut(panel_rows * n).enumerate() {
             tasks.push(Box::new(move || {
-                microkernel::gemm_panel(kernel, a_data, operand, k, n, p * PANEL, panel)
+                microkernel::gemm_panel(kernel, a_data, operand, k, n, p * panel_rows, panel)
             }));
         }
     }
@@ -529,6 +563,47 @@ mod tests {
                 parallel.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn panel_width_is_bitwise_neutral() {
+        // The autotuner varies the panel width per layer; every width must
+        // compute exactly the default-width bits at every pool width.
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = random_matrix(&mut rng, 311, 96);
+        let b = random_matrix(&mut rng, 96, 40);
+        let mut baseline = Matrix::zeros(311, 40);
+        mm_into_with(&ThreadPool::new(1), &a, &b, &mut baseline, GemmOpts::default()).unwrap();
+        for panel_rows in [1, 16, 32, 64, 128, 256, 1024] {
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(threads);
+                let opts = GemmOpts { panel_rows: Some(panel_rows), ..GemmOpts::default() };
+                let mut c = Matrix::zeros(311, 40);
+                mm_into_with(&pool, &a, &b, &mut c, opts).unwrap();
+                assert_eq!(bits(&c), bits(&baseline), "panel={panel_rows} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_panel_width_is_bitwise_neutral() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a: Vec<Matrix> = (0..4).map(|_| random_matrix(&mut rng, 170, 48)).collect();
+        let b: Vec<Matrix> = (0..4).map(|_| random_matrix(&mut rng, 48, 32)).collect();
+        let a_refs: Vec<&Matrix> = a.iter().collect();
+        let b_refs: Vec<&Matrix> = b.iter().collect();
+        let mut baseline: Vec<Matrix> = a.iter().map(|_| Matrix::zeros(170, 32)).collect();
+        bmm_into_with(&ThreadPool::new(1), &a_refs, &b_refs, &mut baseline, GemmOpts::default())
+            .unwrap();
+        for panel_rows in [32, 128] {
+            let pool = ThreadPool::new(4);
+            let opts = GemmOpts { panel_rows: Some(panel_rows), ..GemmOpts::default() };
+            let mut out: Vec<Matrix> = a.iter().map(|_| Matrix::zeros(170, 32)).collect();
+            bmm_into_with(&pool, &a_refs, &b_refs, &mut out, opts).unwrap();
+            for (got, want) in out.iter().zip(&baseline) {
+                assert_eq!(bits(got), bits(want), "panel={panel_rows}");
+            }
         }
     }
 
@@ -688,7 +763,7 @@ mod tests {
             let a = Matrix::from_fn(m, k, |_, _| rng.random_range(0.1f32..1.0));
             let b = Matrix::from_fn(k, n, |_, _| rng.random_range(0.1f32..1.0));
             let reference = mm_reference(&a, &b).unwrap();
-            let opts = GemmOpts { kernel: Some(Kernel::Avx2), fma: true };
+            let opts = GemmOpts { kernel: Some(Kernel::Avx2), fma: true, panel_rows: None };
             assert_eq!(opts.resolve(), Kernel::Avx2Fma);
             let pool = ThreadPool::new(1);
             for operand_packed in [false, true] {
