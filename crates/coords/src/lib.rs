@@ -24,6 +24,9 @@
 //! - [`kernel_map`]: map search (Algorithm 1) over any coordinate table,
 //!   including the symmetry-exploiting fast path for odd-kernel stride-1
 //!   layers.
+//! - [`delta`]: incremental coordinate diffs, the layered [`DeltaIndex`],
+//!   and kernel-map patching for temporal streams whose geometry churns a
+//!   few percent per frame.
 //!
 //! All operations also report the access statistics ([`MappingStats`]) that
 //! the GPU cost simulator folds into mapping latency.
@@ -38,12 +41,17 @@ mod hashmap;
 mod mphf;
 mod table;
 
+pub mod delta;
 pub mod downsample;
 pub mod fnv;
 pub mod kernel_map;
 pub mod offsets;
 
 pub use coord::Coord;
+pub use delta::{
+    diff_coords, patch_strided_map, patch_submanifold_map, CoordDelta, DeltaIndex, PatchStats,
+    StridedPatch, REMOVED_ROW,
+};
 pub use grid::GridTable;
 pub use hashmap::CoordHashMap;
 pub use kernel_map::{KernelMap, MapEntry};

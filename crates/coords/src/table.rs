@@ -75,6 +75,14 @@ pub trait CoordIndex: std::fmt::Debug + Send + Sync {
     /// Bytes of device memory the index occupies (for the cost model and
     /// the frozen-plan memory accounting).
     fn memory_bytes(&self) -> u64;
+
+    /// How many delta layers sit between this index and a from-scratch
+    /// build. Freshly constructed indexes are depth 0; every
+    /// [`crate::DeltaIndex`] stacked on top by incremental re-planning adds
+    /// one. Compaction policies use this to bound query-chain length.
+    fn delta_depth(&self) -> usize {
+        0
+    }
 }
 
 /// A mutable coordinate-to-index table: a [`CoordIndex`] that also supports

@@ -211,6 +211,21 @@ pub struct OptimizationConfig {
     /// `$HOME/.cache/torchsparse/`); when no location resolves, tuning
     /// still runs but winners are not persisted.
     pub tune_db: Option<std::path::PathBuf>,
+    /// Patch a compiled session's frozen plan incrementally when a frame's
+    /// geometry differs only slightly from the planned one, instead of
+    /// discarding the plan and paying a full mapping rebuild. The patched
+    /// plan is bitwise identical to a from-scratch plan (the delta walk
+    /// bails to a full re-plan whenever it cannot guarantee that), so this
+    /// only changes planning cost; the `TORCHSPARSE_DELTA_REPLAN`
+    /// environment variable (`off`/`on`) overrides the field process-wide
+    /// for A/B measurement. Defaults on in every preset.
+    pub delta_replan: bool,
+    /// Churn-ratio ceiling for delta re-planning: when
+    /// `(inserted + removed) / max(|old|, |new|)` at the input level
+    /// exceeds this fraction, the patch path falls back to a full re-plan
+    /// (past ~15% churn, patching loses to rebuilding). Must lie in
+    /// `[0, 1]`.
+    pub delta_replan_max_churn: f64,
 }
 
 /// Resolves the effective fused-execution switch: `TORCHSPARSE_FUSED`
@@ -360,6 +375,41 @@ fn parse_autotune_override(raw: &str) -> Result<bool, String> {
     }
 }
 
+/// Resolves the effective delta-replan switch: `TORCHSPARSE_DELTA_REPLAN`
+/// (`off`/`0`/`false` forces full re-plans on every geometry change,
+/// `on`/`1`/`true` forces the incremental patch path) wins over
+/// `config.delta_replan`. The variable is read once per process; a
+/// set-but-unrecognized value emits a one-time warning and defers to the
+/// configuration instead of being silently ignored.
+pub fn delta_replan_enabled(config: &OptimizationConfig) -> bool {
+    static OVERRIDE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    let forced = OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TORCHSPARSE_DELTA_REPLAN").ok()?;
+        match parse_delta_replan_override(&raw) {
+            Ok(forced) => Some(forced),
+            Err(warning) => {
+                torchsparse_runtime::warn_env_once("TORCHSPARSE_DELTA_REPLAN", &warning);
+                None
+            }
+        }
+    });
+    forced.unwrap_or(config.delta_replan)
+}
+
+/// Strictly parses a `TORCHSPARSE_DELTA_REPLAN` value; factored out of
+/// [`delta_replan_enabled`] so the policy is testable without touching
+/// process state. Unrecognized values return the warning message to emit.
+fn parse_delta_replan_override(raw: &str) -> Result<bool, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" | "false" => Ok(false),
+        "on" | "1" | "true" => Ok(true),
+        _ => Err(format!(
+            "TORCHSPARSE_DELTA_REPLAN={raw:?} is not one of on/off/1/0/true/false; \
+             falling back to the engine configuration's delta_replan flag"
+        )),
+    }
+}
+
 /// Resolves the tuning-database location: `TORCHSPARSE_TUNE_DB` (a
 /// non-empty path) wins over `config.tune_db`, which wins over the default
 /// cache directory (`$XDG_CACHE_HOME/torchsparse/tune-v1.json`, else
@@ -435,6 +485,8 @@ impl OptimizationConfig {
             coord_index: CoordIndexChoice::Auto,
             autotune_policies: true,
             tune_db: None,
+            delta_replan: true,
+            delta_replan_max_churn: 0.15,
         }
     }
 
@@ -474,6 +526,11 @@ impl OptimizationConfig {
             // the baseline.
             autotune_policies: true,
             tune_db: None,
+            // Delta re-planning is bitwise-neutral too (it bails to a full
+            // re-plan whenever equality cannot be guaranteed), so the
+            // baseline keeps it on.
+            delta_replan: true,
+            delta_replan_max_churn: 0.15,
         }
     }
 
@@ -658,6 +715,33 @@ mod tests {
             let w = parse_autotune_override(bad).expect_err("malformed value must warn");
             assert!(w.contains("TORCHSPARSE_AUTOTUNE"), "warning must name the variable: {w}");
             assert!(w.contains("autotune_policies"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn delta_replan_override_parses_strictly() {
+        for (raw, expect) in [("off", false), ("0", false), ("FALSE", false), (" on ", true)] {
+            assert_eq!(parse_delta_replan_override(raw), Ok(expect), "{raw:?}");
+        }
+        for bad in ["abc", "2", "", "yes"] {
+            let w = parse_delta_replan_override(bad).expect_err("malformed value must warn");
+            assert!(w.contains("TORCHSPARSE_DELTA_REPLAN"), "warning must name the variable: {w}");
+            assert!(w.contains("delta_replan"), "warning must name the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn presets_default_to_delta_replan_on() {
+        for preset in [
+            EnginePreset::TorchSparse,
+            EnginePreset::BaselineFp32,
+            EnginePreset::MinkowskiEngine,
+            EnginePreset::SpConv,
+            EnginePreset::SpConvFp16,
+        ] {
+            let c = preset.config();
+            assert!(c.delta_replan, "{}: delta re-planning is bitwise-neutral", preset.name());
+            assert_eq!(c.delta_replan_max_churn, 0.15, "{}", preset.name());
         }
     }
 

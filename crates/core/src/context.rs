@@ -37,9 +37,11 @@ pub struct CachedMap {
     pub coarse_coords: Vec<Coord>,
     /// The coordinate index the map search probed, retained so frozen plans
     /// can report their resident footprint
-    /// ([`crate::ExecutionPlan::memory_bytes`]) and future incremental
-    /// re-plans can re-query without rebuilding the index.
-    pub index: Box<dyn torchsparse_coords::CoordIndex>,
+    /// ([`crate::ExecutionPlan::memory_bytes`]) and incremental re-plans
+    /// can re-query — and layer a [`torchsparse_coords::DeltaIndex`] on
+    /// top — without rebuilding the index. Shared (`Arc`) because a delta
+    /// patch keeps the old plan's index alive as the base of the new one.
+    pub index: Arc<dyn torchsparse_coords::CoordIndex>,
 }
 
 impl CachedMap {
@@ -262,6 +264,14 @@ impl Context {
         arc
     }
 
+    /// Seeds the cache with an already-shared cached map. The delta
+    /// re-planner uses this to install patched (or verified-identical)
+    /// mappings before the plan walk, so the per-layer `plan()` calls hit
+    /// the cache instead of re-searching.
+    pub fn seed_map(&mut self, key: MapKey, cached: Arc<CachedMap>) {
+        self.map_cache.insert(key, cached);
+    }
+
     /// The tuned `(epsilon, S)` for a layer, if the tuner has produced one.
     pub fn tuned_for(&self, layer: &str) -> Option<(f64, usize)> {
         self.tuned_groups.get(layer).copied()
@@ -341,6 +351,11 @@ impl Context {
                 return Err(invalid("adaptive grouping epsilon must be within [0, 1]"));
             }
         }
+        if !cfg.delta_replan_max_churn.is_finite()
+            || !(0.0..=1.0).contains(&cfg.delta_replan_max_churn)
+        {
+            return Err(invalid("delta_replan_max_churn must be within [0, 1]"));
+        }
         Ok(())
     }
 }
@@ -376,7 +391,7 @@ mod tests {
             map: KernelMap::from_parts(3, 1, per_offset, Default::default()).unwrap(),
             fine_coords: vec![Coord::new(0, 0, 0, 0)],
             coarse_coords: vec![Coord::new(0, 0, 0, 0)],
-            index: Box::new(torchsparse_coords::CoordHashMap::build(&[Coord::new(0, 0, 0, 0)]).0),
+            index: Arc::new(torchsparse_coords::CoordHashMap::build(&[Coord::new(0, 0, 0, 0)]).0),
         }
     }
 

@@ -44,6 +44,7 @@
 mod config;
 mod context;
 mod conv;
+mod delta;
 mod engine;
 mod error;
 mod module;

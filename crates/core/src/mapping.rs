@@ -77,7 +77,7 @@ const STREAM_ACCESS_BYTES: f64 = 16.0;
 /// grid's single accesses pipeline freely. With ~1.5 average probes at load
 /// factor 0.5, this factor puts grid search near the paper's 2.7x advantage
 /// (§6.3) on large scenes.
-const HASH_SERIALIZATION: f64 = 1.8;
+pub(crate) const HASH_SERIALIZATION: f64 = 1.8;
 /// Penalty of un-simplified control logic (branchy, un-unrolled mapping
 /// kernels); its removal is the 1.8x "control logic" bar of Figure 13.
 const UNSIMPLIFIED_FACTOR: f64 = 1.8;
@@ -284,13 +284,13 @@ pub(crate) fn compact_cached_index(
     index: Box<dyn CoordIndex>,
     coords: &[Coord],
     config: &OptimizationConfig,
-) -> Box<dyn CoordIndex> {
+) -> std::sync::Arc<dyn CoordIndex> {
     if coord_index_choice(config) != CoordIndexChoice::Auto {
-        return index;
+        return std::sync::Arc::from(index);
     }
     match MphfIndex::build(coords) {
-        Ok((mphf, _accesses)) => Box::new(mphf),
-        Err(_) => index,
+        Ok((mphf, _accesses)) => std::sync::Arc::new(mphf),
+        Err(_) => std::sync::Arc::from(index),
     }
 }
 

@@ -276,6 +276,9 @@ impl ExecutionPlan {
 /// counts executes whose input fingerprint mismatched, forcing a re-plan;
 /// `plan_bytes` reports the resident footprint
 /// ([`ExecutionPlan::memory_bytes`]) of the plan currently in the slot.
+///
+/// Every plan build is also classified by *how* it was built:
+/// `misses == full_replans + delta_patches + delta_fallbacks` always holds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Executes that reused the frozen plan.
@@ -287,6 +290,18 @@ pub struct PlanCacheStats {
     /// Resident bytes of the plan currently in the slot (maps, coordinate
     /// indexes, coordinate lists, locality orders).
     pub plan_bytes: u64,
+    /// Plan builds that ran the full mapping pipeline from scratch (the
+    /// initial compile, re-plans with delta re-planning disabled, and
+    /// geometry changes with no prior plan to patch against).
+    pub full_replans: u64,
+    /// Plan builds served by the incremental delta path: changed voxels
+    /// were diffed against the frozen plan and only the affected mapping
+    /// structures were patched.
+    pub delta_patches: u64,
+    /// Plan builds where the delta path was attempted but bailed (churn
+    /// above `delta_replan_max_churn`, unsupported op pattern, duplicate
+    /// coordinates, ...) and a full rebuild ran instead.
+    pub delta_fallbacks: u64,
 }
 
 /// Fingerprints input geometry: a streaming FNV-1a hash over the tensor

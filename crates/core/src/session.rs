@@ -184,11 +184,20 @@ impl<'m> CompiledModel<'m> {
                 stream.stats.hits += 1;
                 stream.plan = Some(self.base_plan.clone());
             } else {
-                // Geometry changed: rebuild the whole plan into this
-                // stream's slot. The re-plan cost lands in this frame's
-                // timeline, exactly like a dynamic run.
-                stream.stats.misses += 1;
-                let plan = build_plan(&self.ops, tensor, fingerprint, ctx)?;
+                // Geometry changed: rebuild the plan into this stream's
+                // slot — incrementally patched from the old plan when the
+                // delta path applies, from scratch otherwise. The re-plan
+                // cost lands in this frame's timeline, exactly like a
+                // dynamic run.
+                let old = stream.plan.clone();
+                let plan = replan_into_slot(
+                    &self.ops,
+                    tensor,
+                    fingerprint,
+                    old.as_deref(),
+                    &mut stream.stats,
+                    ctx,
+                )?;
                 stream.planning = ctx.timeline.clone();
                 stream.planning_degradation = ctx.degradation.clone();
                 stream.plan = Some(Arc::new(plan));
@@ -351,10 +360,10 @@ impl<'m> CompiledSession<'m> {
             stream: StreamState {
                 engine,
                 stats: PlanCacheStats {
-                    hits: 0,
                     misses: 1,
-                    invalidations: 0,
+                    full_replans: 1,
                     plan_bytes: base_plan.memory_bytes(),
+                    ..PlanCacheStats::default()
                 },
                 plan: Some(base_plan),
                 planning,
@@ -460,6 +469,48 @@ impl std::fmt::Debug for CompiledSession<'_> {
             .field("stats", &self.stream.stats)
             .finish()
     }
+}
+
+/// Rebuilds a stream's plan for a frame whose geometry fingerprint
+/// mismatched its slot.
+///
+/// The fingerprint is computed exactly once per frame — in
+/// [`CompiledModel::execute_on`] (or [`CompiledSession::compile`]) — and
+/// threaded through to here and into the frozen [`ExecutionPlan`];
+/// re-hashing the coordinate list on this path would double the fingerprint
+/// cost of every invalidated frame, so callers must pass the value they
+/// already computed for the slot comparison.
+///
+/// When delta re-planning is enabled and the stream holds a previous plan,
+/// the incremental path diffs the new geometry against that plan and
+/// patches only the affected mapping structures, seeding the context's map
+/// cache so [`build_plan`] below reuses them verbatim. Every build is
+/// classified into exactly one of the [`PlanCacheStats`] partitions —
+/// `delta_patches` on a successful patch, `delta_fallbacks` on a
+/// conservative bail, `full_replans` otherwise — keeping
+/// `misses == full_replans + delta_patches + delta_fallbacks`.
+fn replan_into_slot(
+    ops: &[LayerOp<'_>],
+    input: &SparseTensor,
+    fingerprint: u64,
+    old_plan: Option<&ExecutionPlan>,
+    stats: &mut PlanCacheStats,
+    ctx: &mut Context,
+) -> Result<ExecutionPlan, CoreError> {
+    stats.misses += 1;
+    let attempted = old_plan.is_some() && crate::config::delta_replan_enabled(&ctx.config);
+    let patched = match old_plan {
+        Some(old) if attempted => crate::delta::try_seed_delta_maps(ops, old, input, ctx)?,
+        _ => false,
+    };
+    if patched {
+        stats.delta_patches += 1;
+    } else if attempted {
+        stats.delta_fallbacks += 1;
+    } else {
+        stats.full_replans += 1;
+    }
+    build_plan(ops, input, fingerprint, ctx)
 }
 
 /// Plans every op against the geometry cursor, producing the index-aligned

@@ -345,7 +345,9 @@ fn elem_bytes(precision: Precision) -> f64 {
 /// density to deciles, so near-identical geometries (successive LiDAR
 /// frames, re-voxelized scenes) share one entry, while channel shape,
 /// kernel volume, submanifold-ness, precision, the fused-execution config,
-/// and the device stay exact — a winner does not transfer across those.
+/// and the device *family* stay exact — a winner does not transfer across
+/// those. Keying by architecture family rather than board name lets a
+/// replica on an RTX 3080 warm-start from policies tuned on an RTX 3090.
 #[allow(clippy::too_many_arguments)] // the key's components, nothing more
 fn policy_key(
     n_out: usize,
@@ -355,7 +357,7 @@ fn policy_key(
     c_out: usize,
     submanifold: bool,
     config: &OptimizationConfig,
-    device_name: &str,
+    device_family: &str,
 ) -> String {
     let voxel_bin = n_out.max(1).ilog2();
     let density = total_entries as f64 / (volume.max(1) as f64 * n_out.max(1) as f64);
@@ -366,7 +368,7 @@ fn policy_key(
         Precision::Int8 => "int8",
     };
     let device: String =
-        device_name.chars().map(|c| if c.is_whitespace() { '-' } else { c }).collect();
+        device_family.chars().map(|c| if c.is_whitespace() { '-' } else { c }).collect();
     format!(
         "v{voxel_bin}:d{decile}:c{c_in}x{c_out}:k{}:sm{}:{precision}:fe{}:{device}",
         volume.max(1),
@@ -479,7 +481,7 @@ fn tune_layer(
         conv.c_out(),
         p.submanifold,
         &ctx.config,
-        &ctx.device.name,
+        &ctx.device.family(),
     );
     if measurable {
         if let Some(hit) = db.get(&key).copied().and_then(|e| sanitize_policy(e, &ctx.config)) {
@@ -695,11 +697,13 @@ pub(crate) fn autotune_plan(
 /// takes no serialization dependency), written atomically via a temp file +
 /// rename in the same directory.
 ///
-/// Schema (`version` 1):
+/// Schema (`version` 2, which added the architecture-family device
+/// component of the key — version-1 databases are treated as stale and
+/// rebuilt):
 ///
 /// ```json
-/// {"version":1,"entries":[
-///   {"key":"v15:d2:c32x64:k27:sm1:fp16:fe1:RTX-2080-Ti",
+/// {"version":2,"entries":[
+///   {"key":"v15:d2:c32x64:k27:sm1:fp16:fe1:turing",
 ///    "mode":"adaptive","epsilon":0.3,"s":150000,
 ///    "fused":true,"simd":"auto","chunk":64,"panel":128}
 /// ]}
@@ -716,7 +720,7 @@ mod db {
     use std::path::Path;
 
     /// Database schema version; mismatches are treated as corrupt.
-    const VERSION: f64 = 1.0;
+    const VERSION: f64 = 2.0;
 
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
@@ -1047,7 +1051,7 @@ mod db {
     /// Stores the database atomically: serialized to a temp file in the
     /// target directory, then renamed over the destination.
     pub(super) fn store(path: &Path, entries: &HashMap<String, ExecPolicy>) -> Result<(), String> {
-        let mut text = String::from("{\"version\":1,\"entries\":[");
+        let mut text = String::from("{\"version\":2,\"entries\":[");
         // Deterministic file contents: entries sorted by key.
         let mut keys: Vec<&String> = entries.keys().collect();
         keys.sort();
@@ -1239,11 +1243,11 @@ mod tests {
     fn corrupt_db_fails_to_load() {
         for (name, text) in [
             ("garbage", "not json at all"),
-            ("truncated", "{\"version\":1,\"entries\":[{\"key\":\"x\""),
+            ("truncated", "{\"version\":2,\"entries\":[{\"key\":\"x\""),
             ("no-version", "{\"entries\":[]}"),
-            ("no-entries", "{\"version\":1}"),
-            ("bad-entry", "{\"version\":1,\"entries\":[{\"key\":\"x\",\"mode\":\"warp\"}]}"),
-            ("trailing", "{\"version\":1,\"entries\":[]} extra"),
+            ("no-entries", "{\"version\":2}"),
+            ("bad-entry", "{\"version\":2,\"entries\":[{\"key\":\"x\",\"mode\":\"warp\"}]}"),
+            ("trailing", "{\"version\":2,\"entries\":[]} extra"),
         ] {
             let path = temp_db(name);
             std::fs::write(&path, text).unwrap();
@@ -1255,7 +1259,7 @@ mod tests {
     #[test]
     fn stale_db_version_fails_to_load() {
         let path = temp_db("stale");
-        std::fs::write(&path, "{\"version\":2,\"entries\":[]}").unwrap();
+        std::fs::write(&path, "{\"version\":1,\"entries\":[]}").unwrap();
         let err = db::load(&path).unwrap_err();
         assert!(err.contains("version"), "{err}");
         std::fs::remove_file(&path).unwrap();

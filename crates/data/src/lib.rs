@@ -25,6 +25,10 @@
 //! - [`geometry_static_stream`]: replayed frame streams with identical
 //!   coordinates and jittered features, the steady-state workload for
 //!   compiled inference sessions.
+//! - [`temporal_churn_stream`] / [`ego_drift_stream`] /
+//!   [`dynamic_actors_stream`] / [`multi_sweep_stream`]: temporally
+//!   *churning* streams whose geometry changes a controlled few percent per
+//!   frame — the workload incremental delta re-planning amortizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +37,16 @@ mod batch;
 mod lidar;
 mod multiframe;
 mod stream;
+mod temporal;
 mod voxelize;
 
 pub use batch::collate;
 pub use lidar::{LidarConfig, PointCloud};
 pub use multiframe::aggregate_frames;
 pub use stream::{geometry_static_stream, poisson_arrivals};
+pub use temporal::{
+    dynamic_actors_stream, ego_drift_stream, multi_sweep_stream, temporal_churn_stream,
+};
 pub use voxelize::{voxelize_scan, Voxelizer};
 
 /// A ready-made (generator, voxelizer) pair representing one benchmark

@@ -1,0 +1,480 @@
+//! Temporally *churning* frame streams: the workload incremental delta
+//! re-planning amortizes.
+//!
+//! Real LiDAR streams are neither geometry-static (every frame identical,
+//! [`geometry_static_stream`](crate::geometry_static_stream)) nor fully
+//! independent scans: ego motion slides a few percent of voxels across
+//! grid-cell boundaries per frame, dynamic actors carve moving holes and
+//! bumps into an otherwise static background, and multi-sweep aggregation
+//! windows swap one sweep's voxels in and one out per frame. Each generator
+//! here synthesizes one of those regimes deterministically, with frame 0
+//! always exactly the supplied base tensor so a compiled session plans
+//! against it and subsequent frames exercise the delta re-plan path at a
+//! controlled churn rate.
+//!
+//! Feature values are stable per coordinate (kept voxels carry their
+//! features forward; inserted voxels derive theirs from the coordinate
+//! hash), so every frame sequence is bit-reproducible in its seed and
+//! identical regardless of how the consumer plans it.
+
+use std::collections::HashMap;
+use torchsparse_coords::Coord;
+use torchsparse_core::{CoreError, SparseTensor};
+use torchsparse_tensor::Matrix;
+
+use crate::stream::splitmix64;
+
+/// Tracks the feature row each live coordinate carries across frames.
+struct FeatureBank {
+    rows: HashMap<Coord, Vec<f32>>,
+    channels: usize,
+}
+
+impl FeatureBank {
+    fn from_base(base: &SparseTensor) -> FeatureBank {
+        let mut rows = HashMap::with_capacity(base.len());
+        for (i, &c) in base.coords().iter().enumerate() {
+            rows.insert(c, base.feats().row(i).to_vec());
+        }
+        FeatureBank { rows, channels: base.channels() }
+    }
+
+    /// The row for `c`: carried forward when the coordinate has been seen,
+    /// derived from its hash when freshly inserted.
+    fn row(&mut self, c: Coord) -> Vec<f32> {
+        let channels = self.channels;
+        self.rows
+            .entry(c)
+            .or_insert_with(|| {
+                let mut state = c.fnv1a();
+                (0..channels)
+                    .map(|_| {
+                        let u = (splitmix64(&mut state) >> 11) as f32 / (1u64 << 53) as f32;
+                        2.0 * u - 1.0
+                    })
+                    .collect()
+            })
+            .clone()
+    }
+
+    fn tensor(&mut self, coords: Vec<Coord>, stride: i32) -> Result<SparseTensor, CoreError> {
+        let n = coords.len();
+        let mut feats = Matrix::zeros(n, self.channels);
+        for (i, &c) in coords.iter().enumerate() {
+            feats.row_mut(i).copy_from_slice(&self.row(c));
+        }
+        SparseTensor::with_stride(coords, feats, stride)
+    }
+}
+
+/// Picks a previously unseen coordinate adjacent to `anchor`, retrying a
+/// few jittered offsets before giving up.
+fn neighbor_insert(
+    anchor: Coord,
+    occupied: &HashMap<Coord, u32>,
+    state: &mut u64,
+) -> Option<Coord> {
+    for _ in 0..8 {
+        let r = splitmix64(state);
+        let dx = (r & 3) as i32 - 1;
+        let dy = ((r >> 2) & 3) as i32 - 1;
+        let dz = ((r >> 4) & 3) as i32 - 1;
+        if dx == 0 && dy == 0 && dz == 0 {
+            continue;
+        }
+        let c = anchor.offset([dx, dy, dz]);
+        if !occupied.contains_key(&c) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// A stream of `frames` tensors whose geometry churns by approximately
+/// `churn` (fraction of voxels inserted + removed, relative to the scene
+/// size) from one frame to the next: half the budget removes existing
+/// voxels, half inserts fresh voxels adjacent to survivors. Frame 0 is
+/// `base` unchanged. Kept voxels keep their features; the stream is
+/// deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors (cannot occur: frames keep
+/// `base`'s channel count and coordinates stay unique by construction).
+///
+/// # Example
+///
+/// ```
+/// use torchsparse_core::SparseTensor;
+/// use torchsparse_coords::Coord;
+/// use torchsparse_data::temporal_churn_stream;
+/// use torchsparse_tensor::Matrix;
+///
+/// # fn main() -> Result<(), torchsparse_core::CoreError> {
+/// let coords: Vec<Coord> = (0..40).map(|i| Coord::new(0, i, i % 5, 0)).collect();
+/// let base = SparseTensor::new(coords, Matrix::filled(40, 4, 1.0))?;
+/// let frames = temporal_churn_stream(&base, 4, 0.10, 7)?;
+/// assert_eq!(frames[0], base);
+/// assert_ne!(frames[1].coords(), base.coords());
+/// # Ok(())
+/// # }
+/// ```
+pub fn temporal_churn_stream(
+    base: &SparseTensor,
+    frames: usize,
+    churn: f64,
+    seed: u64,
+) -> Result<Vec<SparseTensor>, CoreError> {
+    let mut bank = FeatureBank::from_base(base);
+    let mut out = Vec::with_capacity(frames);
+    let mut cur: Vec<Coord> = base.coords().to_vec();
+    let mut state = seed ^ 0x7E17_ACE5u64.rotate_left(17);
+    for f in 0..frames {
+        if f == 0 {
+            out.push(base.clone());
+            continue;
+        }
+        let occupied: HashMap<Coord, u32> =
+            cur.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        let budget = ((churn * cur.len() as f64) / 2.0).round() as usize;
+        // Removals: a deterministic sample of current rows.
+        let mut drop = vec![false; cur.len()];
+        let mut dropped = 0usize;
+        while dropped < budget.min(cur.len().saturating_sub(1)) {
+            let i = (splitmix64(&mut state) % cur.len() as u64) as usize;
+            if !drop[i] {
+                drop[i] = true;
+                dropped += 1;
+            }
+        }
+        let mut next: Vec<Coord> =
+            cur.iter().zip(&drop).filter(|(_, &d)| !d).map(|(&c, _)| c).collect();
+        // Insertions: fresh voxels adjacent to survivors.
+        let mut inserted = 0usize;
+        let mut occupied = occupied;
+        while inserted < budget && !next.is_empty() {
+            let anchor = next[(splitmix64(&mut state) % next.len() as u64) as usize];
+            match neighbor_insert(anchor, &occupied, &mut state) {
+                Some(c) => {
+                    occupied.insert(c, u32::MAX);
+                    next.push(c);
+                    inserted += 1;
+                }
+                None => break,
+            }
+        }
+        out.push(bank.tensor(next.clone(), base.stride())?);
+        cur = next;
+    }
+    Ok(out)
+}
+
+/// Ego-motion drift: per frame, roughly `crossing_fraction` of the voxels
+/// cross a grid-cell boundary (modeled as a +1 step along x), while the
+/// rest of the grid stays put — the steady-state geometry churn of a
+/// vehicle moving slowly relative to the voxel size. A voxel whose target
+/// cell is already occupied stays where it is (the cells merge). Frame 0 is
+/// `base` unchanged; deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors (cannot occur: coordinates stay
+/// unique by construction).
+pub fn ego_drift_stream(
+    base: &SparseTensor,
+    frames: usize,
+    crossing_fraction: f64,
+    seed: u64,
+) -> Result<Vec<SparseTensor>, CoreError> {
+    let threshold = (crossing_fraction.clamp(0.0, 1.0) * u32::MAX as f64) as u64;
+    let mut bank = FeatureBank::from_base(base);
+    let mut out = Vec::with_capacity(frames);
+    let mut cur: Vec<Coord> = base.coords().to_vec();
+    for f in 0..frames {
+        if f == 0 {
+            out.push(base.clone());
+            continue;
+        }
+        let occupied: HashMap<Coord, u32> =
+            cur.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        let mut next: Vec<Coord> = Vec::with_capacity(cur.len());
+        let mut claimed: HashMap<Coord, u32> = HashMap::with_capacity(cur.len());
+        for &c in &cur {
+            let mut state = seed ^ c.fnv1a() ^ (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let crosses = (splitmix64(&mut state) & u64::from(u32::MAX)) < threshold;
+            let target = if crosses { c.offset([1, 0, 0]) } else { c };
+            // Collisions (target occupied or already claimed this frame)
+            // leave the voxel in place; a double-claim drops it (merged).
+            let dest =
+                if crosses && (occupied.contains_key(&target) || claimed.contains_key(&target)) {
+                    c
+                } else {
+                    target
+                };
+            if claimed.insert(dest, 0).is_none() {
+                next.push(dest);
+            }
+        }
+        out.push(bank.tensor(next.clone(), base.stride())?);
+        cur = next;
+    }
+    Ok(out)
+}
+
+/// Dynamic actors over a static background: `actors` cubes of edge
+/// `extent` voxels traverse the scene with constant per-frame velocity,
+/// inserting their voxels into `base`'s static background and removing
+/// them as they move on. Background voxels are never removed; churn comes
+/// entirely from the moving actor surfaces. Frame 0 is `base` unchanged;
+/// deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors (cannot occur: coordinates stay
+/// unique by construction).
+pub fn dynamic_actors_stream(
+    base: &SparseTensor,
+    frames: usize,
+    actors: usize,
+    extent: i32,
+    seed: u64,
+) -> Result<Vec<SparseTensor>, CoreError> {
+    let extent = extent.max(1);
+    let (lo, hi) = bounding_box(base.coords());
+    let mut bank = FeatureBank::from_base(base);
+    let background: HashMap<Coord, u32> =
+        base.coords().iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+
+    // Fixed per-actor origin and velocity, derived once from the seed.
+    let mut state = seed ^ 0xD1A_C705u64.rotate_left(29);
+    let specs: Vec<([i32; 3], [i32; 3], i32)> = (0..actors)
+        .map(|_| {
+            let span =
+                |a: i32, b: i32, s: &mut u64| a + (splitmix64(s) % (b - a).max(1) as u64) as i32;
+            let origin = [
+                span(lo[0], hi[0], &mut state),
+                span(lo[1], hi[1], &mut state),
+                span(lo[2], hi[2], &mut state),
+            ];
+            let vel = [
+                (splitmix64(&mut state) % 3) as i32 - 1,
+                (splitmix64(&mut state) % 3) as i32 - 1,
+                1, // always some motion so the actor churns every frame
+            ];
+            let batch = base.coords().first().map_or(0, |c| c.batch);
+            (origin, vel, batch)
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        if f == 0 {
+            out.push(base.clone());
+            continue;
+        }
+        let mut coords = base.coords().to_vec();
+        let mut claimed: HashMap<Coord, u32> = HashMap::with_capacity(actors * extent as usize);
+        for &(origin, vel, batch) in &specs {
+            let p = [
+                origin[0] + vel[0] * f as i32,
+                origin[1] + vel[1] * f as i32,
+                origin[2] + vel[2] * f as i32,
+            ];
+            for dx in 0..extent {
+                for dy in 0..extent {
+                    for dz in 0..extent {
+                        let c = Coord::new(batch, p[0] + dx, p[1] + dy, p[2] + dz);
+                        if !background.contains_key(&c) && claimed.insert(c, 0).is_none() {
+                            coords.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out.push(bank.tensor(coords, base.stride())?);
+    }
+    Ok(out)
+}
+
+/// Multi-sweep aggregation with a sliding window: frame `f > 0` is `base`
+/// (the persistent map) plus the `window` most recent synthetic sweeps,
+/// each contributing `sweep_points` voxels scattered over `base`'s
+/// bounding box. Advancing one frame swaps the oldest sweep's voxels out
+/// and a fresh sweep's in — the classic aggregation churn of nuScenes /
+/// Waymo multi-sweep inputs. Frame 0 is `base` unchanged; deterministic in
+/// `seed`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors (cannot occur: coordinates stay
+/// unique by construction).
+pub fn multi_sweep_stream(
+    base: &SparseTensor,
+    frames: usize,
+    window: usize,
+    sweep_points: usize,
+    seed: u64,
+) -> Result<Vec<SparseTensor>, CoreError> {
+    let window = window.max(1);
+    let (lo, hi) = bounding_box(base.coords());
+    let batch = base.coords().first().map_or(0, |c| c.batch);
+    let mut bank = FeatureBank::from_base(base);
+    let background: HashMap<Coord, u32> =
+        base.coords().iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+
+    // Sweep `s` is a fixed voxel set derived from (seed, s).
+    let sweep = |s: usize| -> Vec<Coord> {
+        let mut state = seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut pts = Vec::with_capacity(sweep_points);
+        for _ in 0..sweep_points {
+            let span =
+                |a: i32, b: i32, st: &mut u64| a + (splitmix64(st) % (b - a).max(1) as u64) as i32;
+            pts.push(Coord::new(
+                batch,
+                span(lo[0], hi[0] + 2, &mut state),
+                span(lo[1], hi[1] + 2, &mut state),
+                span(lo[2], hi[2] + 2, &mut state),
+            ));
+        }
+        pts
+    };
+
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        if f == 0 {
+            out.push(base.clone());
+            continue;
+        }
+        let mut coords = base.coords().to_vec();
+        let mut claimed: HashMap<Coord, u32> = HashMap::new();
+        let first = f.saturating_sub(window - 1).max(1);
+        for s in first..=f {
+            for c in sweep(s) {
+                if !background.contains_key(&c) && claimed.insert(c, 0).is_none() {
+                    coords.push(c);
+                }
+            }
+        }
+        out.push(bank.tensor(coords, base.stride())?);
+    }
+    Ok(out)
+}
+
+fn bounding_box(coords: &[Coord]) -> ([i32; 3], [i32; 3]) {
+    let mut lo = [i32::MAX; 3];
+    let mut hi = [i32::MIN; 3];
+    for c in coords {
+        for (d, v) in [c.x, c.y, c.z].into_iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SparseTensor {
+        let coords: Vec<Coord> = (0..60)
+            .map(|i| Coord::new(0, i % 10, (i / 10) % 6, i % 4))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let n = coords.len();
+        SparseTensor::new(coords, Matrix::from_fn(n, 4, |r, c| (r * 7 + c) as f32 * 0.01)).unwrap()
+    }
+
+    fn churn_between(a: &SparseTensor, b: &SparseTensor) -> f64 {
+        let sa: std::collections::HashSet<_> = a.coords().iter().collect();
+        let sb: std::collections::HashSet<_> = b.coords().iter().collect();
+        let inserted = sb.difference(&sa).count();
+        let removed = sa.difference(&sb).count();
+        (inserted + removed) as f64 / sa.len().max(sb.len()) as f64
+    }
+
+    #[test]
+    fn churn_stream_hits_requested_rate() {
+        let b = base();
+        let frames = temporal_churn_stream(&b, 5, 0.10, 3).unwrap();
+        assert_eq!(frames[0], b);
+        for w in frames.windows(2).skip(1) {
+            let c = churn_between(&w[0], &w[1]);
+            assert!((0.02..=0.20).contains(&c), "churn {c} should track the requested 10%");
+        }
+        for f in &frames {
+            f.validate_unique().unwrap();
+        }
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic() {
+        let b = base();
+        assert_eq!(
+            temporal_churn_stream(&b, 4, 0.08, 9).unwrap(),
+            temporal_churn_stream(&b, 4, 0.08, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn kept_voxels_keep_features() {
+        let b = base();
+        let frames = temporal_churn_stream(&b, 3, 0.10, 5).unwrap();
+        let lookup: HashMap<Coord, Vec<f32>> =
+            b.coords().iter().enumerate().map(|(i, &c)| (c, b.feats().row(i).to_vec())).collect();
+        let f = &frames[2];
+        let mut checked = 0;
+        for (i, c) in f.coords().iter().enumerate() {
+            if let Some(expected) = lookup.get(c) {
+                assert_eq!(f.feats().row(i), &expected[..]);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "some base voxels must survive 10% churn");
+    }
+
+    #[test]
+    fn ego_drift_crosses_a_fraction() {
+        let b = base();
+        let frames = ego_drift_stream(&b, 3, 0.10, 11).unwrap();
+        assert_eq!(frames[0], b);
+        let c = churn_between(&frames[0], &frames[1]);
+        assert!(c > 0.0 && c < 0.35, "drift churn {c} should be small");
+        for f in &frames {
+            f.validate_unique().unwrap();
+        }
+    }
+
+    #[test]
+    fn dynamic_actors_insert_and_move() {
+        let b = base();
+        let frames = dynamic_actors_stream(&b, 4, 2, 2, 17).unwrap();
+        assert_eq!(frames[0], b);
+        assert!(frames[1].len() > b.len(), "actors add voxels over the background");
+        // The actors move: consecutive frames differ.
+        assert_ne!(frames[1].coords(), frames[2].coords());
+        for f in &frames {
+            f.validate_unique().unwrap();
+            // The static background survives every frame.
+            let occupied: std::collections::HashSet<_> = f.coords().iter().collect();
+            assert!(b.coords().iter().all(|c| occupied.contains(c)));
+        }
+    }
+
+    #[test]
+    fn multi_sweep_window_slides() {
+        let b = base();
+        let frames = multi_sweep_stream(&b, 6, 3, 12, 23).unwrap();
+        assert_eq!(frames[0], b);
+        for f in &frames {
+            f.validate_unique().unwrap();
+        }
+        // Once the window saturates, old sweeps leave as new ones enter:
+        // both insertions and removals happen frame to frame.
+        let sa: std::collections::HashSet<_> = frames[4].coords().iter().copied().collect();
+        let sb: std::collections::HashSet<_> = frames[5].coords().iter().copied().collect();
+        assert!(sb.difference(&sa).count() > 0, "a fresh sweep inserts voxels");
+        assert!(sa.difference(&sb).count() > 0, "the oldest sweep's voxels leave");
+    }
+}

@@ -45,6 +45,16 @@ pub struct StreamHealth {
     /// close (`PlanCacheStats::plan_bytes`): the shared compile-time plan
     /// for streams that rode it, or the stream's private re-plan.
     pub plan_bytes: u64,
+    /// Geometry misses this stream re-planned from scratch
+    /// (`PlanCacheStats::full_replans`).
+    pub full_replans: u64,
+    /// Geometry misses this stream served by patching the previous frozen
+    /// plan in place (`PlanCacheStats::delta_patches`).
+    pub delta_patches: u64,
+    /// Delta re-plans attempted but abandoned — churn above the configured
+    /// threshold or an unpatchable structure — falling back to a full
+    /// re-plan (`PlanCacheStats::delta_fallbacks`).
+    pub delta_fallbacks: u64,
 }
 
 /// Service-wide health counters plus the per-stream rollup.
@@ -79,6 +89,15 @@ pub struct HealthReport {
     /// per-stream memory budget sees), so this is an upper bound on
     /// process-level plan memory.
     pub plan_bytes: u64,
+    /// From-scratch re-plans across every stream (sum of
+    /// [`StreamHealth::full_replans`]).
+    pub full_replans: u64,
+    /// In-place delta plan patches across every stream (sum of
+    /// [`StreamHealth::delta_patches`]).
+    pub delta_patches: u64,
+    /// Abandoned delta attempts that fell back to full re-plans across
+    /// every stream (sum of [`StreamHealth::delta_fallbacks`]).
+    pub delta_fallbacks: u64,
     /// Layers whose execution policy was selected by the compile-time
     /// autotuner (zero when autotuning was disabled at compile time).
     pub tuned_layers: usize,
@@ -116,6 +135,13 @@ impl fmt::Display for HealthReport {
             self.max_queue_depth,
             self.plan_bytes,
         )?;
+        if self.full_replans + self.delta_patches + self.delta_fallbacks > 0 {
+            write!(
+                f,
+                " | replans: full {} delta-patched {} delta-fallback {}",
+                self.full_replans, self.delta_patches, self.delta_fallbacks,
+            )?;
+        }
         if self.tuned_layers > 0 {
             write!(
                 f,

@@ -337,6 +337,9 @@ fn worker(shared: &SharedState, model: &CompiledModel<'_>, stream_idx: usize) {
         quarantined: 0,
         degradation: DegradationReport::new(),
         plan_bytes: 0,
+        full_replans: 0,
+        delta_patches: 0,
+        delta_fallbacks: 0,
     };
     let Some(queue) = shared.queues.get(stream_idx) else { return };
     while let Some(req) = queue.pop() {
@@ -359,7 +362,13 @@ fn worker(shared: &SharedState, model: &CompiledModel<'_>, stream_idx: usize) {
         });
     }
     health.degradation = window.snapshot();
-    health.plan_bytes = slot.as_ref().map_or(0, |s| s.stats().plan_bytes);
+    if let Some(s) = slot.as_ref() {
+        let stats = s.stats();
+        health.plan_bytes = stats.plan_bytes;
+        health.full_replans = stats.full_replans;
+        health.delta_patches = stats.delta_patches;
+        health.delta_fallbacks = stats.delta_fallbacks;
+    }
     lock(&shared.stream_health).push(health);
 }
 
@@ -430,6 +439,9 @@ pub fn serve<R>(
         max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
         degradation: DegradationReport::new(),
         plan_bytes: 0,
+        full_replans: 0,
+        delta_patches: 0,
+        delta_fallbacks: 0,
         tuned_layers: model.tuning_report().map_or(0, |t| t.policies.len()),
         candidates_measured: model.tuning_report().map_or(0, |t| t.candidates_measured),
         warm_started: model.tuning_report().map_or(0, |t| t.warm_started),
@@ -439,6 +451,9 @@ pub fn serve<R>(
     for s in &streams_health {
         health.degradation.merge(&s.degradation);
         health.plan_bytes += s.plan_bytes;
+        health.full_replans += s.full_replans;
+        health.delta_patches += s.delta_patches;
+        health.delta_fallbacks += s.delta_fallbacks;
     }
     health.streams = streams_health;
     Ok((driver_result, ServiceOutcome { health, completions }))
@@ -622,6 +637,44 @@ mod tests {
             v
         };
         assert_eq!(key(&a), key(&b), "fault replay must be exact");
+    }
+
+    #[test]
+    fn health_reports_per_stream_delta_replan_rollups() {
+        let m = model();
+        let a = scene(0);
+        // `a` minus its last voxel: ~4% churn, far under the delta
+        // threshold, so the stream's re-plan takes the patch path.
+        let keep = a.len() - 1;
+        let channels = a.channels();
+        let coords = a.coords()[..keep].to_vec();
+        let feats = Matrix::from_fn(keep, channels, |r, c| a.feats().as_slice()[r * channels + c]);
+        let a2 = Arc::new(SparseTensor::new(coords, feats).unwrap());
+        let session = engine().compile(&m, &a).unwrap();
+        let (shared, _) = session.into_parts();
+        let (_, outcome) = serve(&shared, 1, &ServiceConfig::default(), |svc| {
+            svc.submit(0, 0, a.clone()).unwrap();
+            svc.submit(0, 1, a2.clone()).unwrap();
+        })
+        .unwrap();
+        let h = &outcome.health;
+        assert_eq!(h.completed, 2);
+        let s0 = &h.streams[0];
+        assert_eq!(
+            s0.full_replans + s0.delta_patches + s0.delta_fallbacks,
+            1,
+            "exactly one geometry change on stream 0: {s0:?}"
+        );
+        if std::env::var_os("TORCHSPARSE_DELTA_REPLAN").is_none() {
+            assert_eq!(s0.delta_patches, 1, "1-voxel churn must be patched: {s0:?}");
+        }
+        assert_eq!(
+            h.delta_patches,
+            h.streams.iter().map(|s| s.delta_patches).sum::<u64>(),
+            "service rollup must sum the per-stream counters"
+        );
+        assert_eq!(h.full_replans, h.streams.iter().map(|s| s.full_replans).sum::<u64>());
+        assert!(h.to_string().contains("replans:"), "{h}");
     }
 
     #[test]

@@ -78,6 +78,42 @@ fn config_with_db(path: &std::path::Path, autotune: bool) -> OptimizationConfig 
 }
 
 #[test]
+fn warm_start_transfers_within_a_device_family_but_not_across() {
+    if env_pins_autotune() {
+        return;
+    }
+    let db = temp_db("family-transfer");
+    let _ = std::fs::remove_file(&db);
+    let model = two_conv_model();
+    let x = dense_scene(4);
+
+    // Tune on an RTX 2080 Ti and persist the database.
+    let cold = Engine::with_config(config_with_db(&db, true), DeviceProfile::rtx_2080ti())
+        .compile(&model, &x)
+        .expect("cold compile");
+    assert!(cold.tuning_report().expect("autotune ran").candidates_measured > 0);
+
+    // Another Turing board warm-starts from the same entries: policies are
+    // keyed by architecture family, not by board name.
+    let sibling =
+        DeviceProfile { name: "RTX 2070 Super".to_owned(), ..DeviceProfile::rtx_2080ti() };
+    let warm = Engine::with_config(config_with_db(&db, true), sibling)
+        .compile(&model, &x)
+        .expect("sibling compile");
+    let report = warm.tuning_report().expect("autotune ran");
+    assert_eq!(report.candidates_measured, 0, "Turing sibling must warm-start: {report:?}");
+    assert!(report.warm_started > 0, "{report:?}");
+
+    // An Ampere board shares nothing with the Turing entries.
+    let cross = Engine::with_config(config_with_db(&db, true), DeviceProfile::rtx_3090())
+        .compile(&model, &x)
+        .expect("cross-family compile");
+    let cross_report = cross.tuning_report().expect("autotune ran");
+    assert_eq!(cross_report.warm_started, 0, "families must not share entries: {cross_report:?}");
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
 fn warm_start_measures_nothing_and_matches_cold_and_off_bitwise() {
     if env_pins_autotune() {
         return;

@@ -1,0 +1,287 @@
+//! Incremental delta re-planning must be invisible: a compiled session fed a
+//! temporally churning stream patches its frozen plan in place, and every
+//! patched frame must be bitwise identical to compiling the model from
+//! scratch on that frame — across dataflow presets, fused/unfused execution,
+//! thread counts, and exact-accumulation modes. Above the churn threshold the
+//! session falls back to a full re-plan, still bitwise identical.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use torchsparse::coords::{
+    diff_coords, Coord, CoordHashMap, CoordIndex, DeltaIndex, MphfIndex, REMOVED_ROW,
+};
+use torchsparse::core::{
+    BatchNorm, Engine, Module, OptimizationConfig, PlanCacheStats, Precision, ReLU, Sequential,
+    SparseConv3d, SparseMaxPool3d, SparseTensor,
+};
+use torchsparse::data::{
+    dynamic_actors_stream, ego_drift_stream, multi_sweep_stream, temporal_churn_stream,
+};
+use torchsparse::gpusim::DeviceProfile;
+use torchsparse::models::{MinkUNet, ResidualBlock};
+use torchsparse::tensor::Matrix;
+
+/// A dense-ish blob that survives two stride-2 downsamples.
+fn scene(channels: usize) -> SparseTensor {
+    let mut coords = std::collections::BTreeSet::new();
+    for i in 0..420i32 {
+        coords.insert(Coord::new(0, (i * 7) % 22, ((i * 13) / 3) % 18, (i * 3) % 14));
+    }
+    let coords: Vec<Coord> = coords.into_iter().collect();
+    let n = coords.len();
+    SparseTensor::new(
+        coords,
+        Matrix::from_fn(n, channels, |r, c| ((r + 3 * c) % 9) as f32 * 0.25 - 1.0),
+    )
+    .expect("valid scene")
+}
+
+fn bits(t: &SparseTensor) -> Vec<u32> {
+    t.feats().as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Counter assertions are only meaningful when the `TORCHSPARSE_DELTA_REPLAN`
+/// env override is not forcing the path on or off underneath the config.
+fn delta_env_forced() -> bool {
+    std::env::var_os("TORCHSPARSE_DELTA_REPLAN").is_some()
+}
+
+/// A model exercising every structure the delta walk patches: submanifold
+/// and dilated convs, a residual block with a projection branch, max
+/// pooling, a strided downsample, and a transposed conv that re-enters the
+/// downsample's shared kernel map.
+fn temporal_model(seed: u64) -> Sequential {
+    Sequential::new("temporal")
+        .push(SparseConv3d::with_random_weights("stem", 4, 8, 3, 1, seed))
+        .push(BatchNorm::identity("bn", 8))
+        .push(ReLU::new("act"))
+        .push(SparseConv3d::with_random_weights("dil", 8, 8, 3, 1, seed ^ 1).with_dilation(2))
+        .push(SparseMaxPool3d::new("pool", 2, 2))
+        .push(ResidualBlock::new("res", 8, 16, seed ^ 2))
+        .push(SparseConv3d::with_random_weights("down", 16, 16, 2, 2, seed ^ 3))
+        .push(SparseConv3d::with_random_weights("up", 16, 8, 2, 2, seed ^ 4).into_transposed())
+        .push(SparseConv3d::with_random_weights("head", 8, 4, 3, 1, seed ^ 5))
+}
+
+/// Runs `frames` through one long-lived session and, per frame, through a
+/// freshly compiled engine; asserts bitwise identity and returns the
+/// session's plan-cache stats.
+fn assert_stream_matches_cold(
+    model: &impl Module,
+    frames: &[SparseTensor],
+    cfg: &OptimizationConfig,
+    label: &str,
+) -> PlanCacheStats {
+    let mut session = Engine::with_config(cfg.clone(), DeviceProfile::rtx_2080ti())
+        .compile(model, &frames[0])
+        .expect("session compile");
+    for (f, frame) in frames.iter().enumerate() {
+        let got = session.execute(frame).expect("session execute");
+        let mut cold = Engine::with_config(cfg.clone(), DeviceProfile::rtx_2080ti())
+            .compile(model, frame)
+            .expect("cold compile");
+        let want = cold.execute(frame).expect("cold execute");
+        assert_eq!(want.coords(), got.coords(), "{label} frame {f}: output coords diverged");
+        assert_eq!(
+            bits(&want),
+            bits(&got),
+            "{label} frame {f}: patched plan must be bitwise identical to a cold re-plan"
+        );
+    }
+    session.stats()
+}
+
+fn fp32_config(preset: torchsparse::core::EnginePreset) -> OptimizationConfig {
+    let mut cfg = preset.config();
+    cfg.precision = Precision::Fp32;
+    cfg
+}
+
+/// `misses` must partition exactly into the three re-plan outcomes.
+fn assert_partition(stats: &PlanCacheStats, label: &str) {
+    assert_eq!(
+        stats.misses,
+        stats.full_replans + stats.delta_patches + stats.delta_fallbacks,
+        "{label}: misses must partition into full/patched/fallback ({stats:?})"
+    );
+}
+
+#[test]
+fn mixed_churn_matches_cold_replan_across_presets_threads_fusion() {
+    use torchsparse::core::EnginePreset;
+    let base = scene(4);
+    let frames = temporal_churn_stream(&base, 4, 0.08, 11).expect("stream");
+    let model = temporal_model(21);
+    for preset in
+        [EnginePreset::BaselineFp32, EnginePreset::TorchSparse, EnginePreset::MinkowskiEngine]
+    {
+        for fused in [false, true] {
+            for threads in [1usize, 8] {
+                let mut cfg = fp32_config(preset);
+                cfg.fused_execution = fused;
+                cfg.threads = Some(threads);
+                let label = format!("{preset:?}/fused={fused}/threads={threads}");
+                let stats = assert_stream_matches_cold(&model, &frames, &cfg, &label);
+                assert_partition(&stats, &label);
+                // 1 miss for the initial compile + 3 geometry changes.
+                assert_eq!(stats.misses, 4, "{label}: compile plus 3 geometry changes");
+                if !delta_env_forced() {
+                    assert_eq!(
+                        stats.delta_patches, 3,
+                        "{label}: every low-churn frame should take the delta patch path ({stats:?})"
+                    );
+                    assert_eq!(
+                        stats.delta_fallbacks, 0,
+                        "{label}: churn 8% is under the 15% threshold"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn insert_only_stream_is_patched_bitwise() {
+    let base = scene(4);
+    // Window covers the whole stream: sweeps only accumulate, never expire.
+    let frames = multi_sweep_stream(&base, 4, 8, 30, 5).expect("stream");
+    for f in 1..frames.len() {
+        assert!(frames[f].len() > frames[f - 1].len(), "sweeps must only insert");
+    }
+    let cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+    let stats = assert_stream_matches_cold(&temporal_model(7), &frames, &cfg, "insert-only");
+    assert_partition(&stats, "insert-only");
+    if !delta_env_forced() {
+        assert_eq!(stats.delta_patches, 3, "insert-only churn stays under threshold");
+    }
+}
+
+#[test]
+fn remove_only_stream_is_patched_bitwise() {
+    let base = scene(4);
+    let channels = base.channels();
+    let mut frames = vec![base.clone()];
+    for f in 1..4usize {
+        // Drop a trailing slice of the sorted coords, carrying features.
+        let keep = base.len() - f * 12;
+        let coords: Vec<Coord> = base.coords()[..keep].to_vec();
+        let feats =
+            Matrix::from_fn(keep, channels, |r, c| base.feats().as_slice()[r * channels + c]);
+        frames.push(SparseTensor::new(coords, feats).expect("shrunk frame"));
+    }
+    let cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+    let stats = assert_stream_matches_cold(&temporal_model(9), &frames, &cfg, "remove-only");
+    assert_partition(&stats, "remove-only");
+    if !delta_env_forced() {
+        assert_eq!(stats.delta_patches, 3, "remove-only churn stays under threshold");
+    }
+}
+
+#[test]
+fn above_threshold_churn_falls_back_to_full_replan() {
+    let base = scene(4);
+    let frames = temporal_churn_stream(&base, 3, 0.5, 13).expect("stream");
+    let cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+    assert!(cfg.delta_replan_max_churn < 0.4, "test assumes churn 50% exceeds the threshold");
+    let stats = assert_stream_matches_cold(&temporal_model(3), &frames, &cfg, "high-churn");
+    assert_partition(&stats, "high-churn");
+    if !delta_env_forced() {
+        assert!(
+            stats.delta_fallbacks >= 1,
+            "churn 50% must trip the delta_replan_max_churn fallback ({stats:?})"
+        );
+        assert_eq!(stats.delta_patches, 0, "no frame under 50% churn should be patched");
+    }
+}
+
+#[test]
+fn delta_disabled_by_config_takes_full_replans_only() {
+    let base = scene(4);
+    let frames = temporal_churn_stream(&base, 3, 0.08, 17).expect("stream");
+    let mut cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+    cfg.delta_replan = false;
+    let stats = assert_stream_matches_cold(&temporal_model(5), &frames, &cfg, "delta-off");
+    assert_partition(&stats, "delta-off");
+    if !delta_env_forced() {
+        assert_eq!(stats.delta_patches, 0);
+        assert_eq!(stats.delta_fallbacks, 0);
+        assert_eq!(stats.full_replans, stats.misses);
+    }
+}
+
+#[test]
+fn unet_with_skips_and_transposed_convs_is_patched_bitwise() {
+    let base = scene(4);
+    let frames = ego_drift_stream(&base, 3, 0.04, 19).expect("stream");
+    let model = MinkUNet::with_width(0.25, 4, 3, 31);
+    for threads in [1usize, 8] {
+        let mut cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+        cfg.threads = Some(threads);
+        let label = format!("unet/threads={threads}");
+        let stats = assert_stream_matches_cold(&model, &frames, &cfg, &label);
+        assert_partition(&stats, &label);
+        if !delta_env_forced() {
+            assert!(stats.delta_patches >= 1, "{label}: ego drift should be patchable ({stats:?})");
+        }
+    }
+}
+
+#[test]
+fn exact_accumulation_on_and_off_both_match_cold() {
+    let base = scene(4);
+    let frames = dynamic_actors_stream(&base, 3, 2, 1, 23).expect("stream");
+    for exact in [true, false] {
+        let mut cfg = fp32_config(torchsparse::core::EnginePreset::TorchSparse);
+        cfg.exact_accumulation = exact;
+        cfg.threads = Some(8);
+        let label = format!("exact={exact}");
+        let stats = assert_stream_matches_cold(&temporal_model(13), &frames, &cfg, &label);
+        assert_partition(&stats, &label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random coordinate diff must round-trip: the layered
+    /// [`DeltaIndex`] built from `diff_coords` answers every query exactly
+    /// like a compacted from-scratch index over the new coordinates.
+    #[test]
+    fn prop_diff_patch_compact_roundtrip(
+        old_sites in proptest::collection::vec((0i32..7, 0i32..7, 0i32..7), 4..40),
+        new_sites in proptest::collection::vec((0i32..7, 0i32..7, 0i32..7), 4..40),
+    ) {
+        let dedup = |sites: &[(i32, i32, i32)]| {
+            let mut v: Vec<(i32, i32, i32)> = sites.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(|(x, y, z)| Coord::new(0, x, y, z)).collect::<Vec<Coord>>()
+        };
+        let old = dedup(&old_sites);
+        let new = dedup(&new_sites);
+        let (old_idx, _) = CoordHashMap::build(&old);
+        let delta = diff_coords(&old_idx, old.len(), &new).expect("diff");
+        // The remap classifies every old row as kept (with its new row) or
+        // removed.
+        for (i, c) in old.iter().enumerate() {
+            match new.iter().position(|n| n == c) {
+                Some(p) => prop_assert_eq!(delta.remap[i], p as u32),
+                None => prop_assert_eq!(delta.remap[i], REMOVED_ROW),
+            }
+        }
+        let (layered, _) =
+            DeltaIndex::build(Arc::new(old_idx), &delta, &new).expect("layered index");
+        let (compacted, _) = MphfIndex::build(&new).expect("compacted index");
+        for (r, c) in new.iter().enumerate() {
+            prop_assert_eq!(layered.query(*c).0, Some(r as u32));
+            prop_assert_eq!(compacted.query(*c).0, Some(r as u32));
+        }
+        for c in &old {
+            if !new.contains(c) {
+                prop_assert_eq!(layered.query(*c).0, None);
+                prop_assert_eq!(compacted.query(*c).0, None);
+            }
+        }
+    }
+}
